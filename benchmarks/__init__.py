@@ -1,0 +1,1 @@
+"""Benchmark suite reproducing every table and figure of the paper's Section 5."""

@@ -1,0 +1,45 @@
+"""Figure 11 (a-g): metric convergence as the number of open triangles grows."""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_table, write_csv
+
+from benchmarks.conftest import run_once
+
+TRIANGLE_COUNTS = (5, 10, 20, 40)
+
+
+def test_figure11_triangle_sweep(benchmark, harness, results_dir):
+    """Probability of sufficiency/necessity and explanation metrics vs. tau."""
+
+    def experiment():
+        return harness.triangle_sweep_rows(
+            triangle_counts=TRIANGLE_COUNTS,
+            datasets=harness.config.datasets[:2],
+            models=harness.config.models,
+            pairs_per_dataset=2,
+        )
+
+    rows = run_once(benchmark, experiment)
+
+    print("\n=== Figure 11: metric averages as the number of open triangles increases ===")
+    print(format_table(rows))
+    write_csv(rows, results_dir / "figure11_triangle_sweep.csv")
+
+    assert rows
+    taus = sorted({row["triangles"] for row in rows})
+    assert taus == sorted(TRIANGLE_COUNTS)
+    for row in rows:
+        assert 0.0 <= row["probability_of_sufficiency"] <= 1.0
+        assert 0.0 <= row["probability_of_necessity"] <= 1.0
+        assert 0.0 <= row["proximity"] <= 1.0
+
+    # Shape check (convergence): for each dataset the largest-tau value of the
+    # probability of necessity must be close to the second largest-tau value.
+    by_dataset: dict[str, dict[int, float]] = {}
+    for row in rows:
+        by_dataset.setdefault(row["dataset"], {})[row["triangles"]] = row["probability_of_necessity"]
+    for values in by_dataset.values():
+        if len(values) >= 2:
+            ordered = [values[tau] for tau in sorted(values)]
+            assert abs(ordered[-1] - ordered[-2]) <= 0.35

@@ -1,0 +1,35 @@
+"""Figure 12: qualitative case study on the BeerAdvo-RateBeer dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.reporting import format_table, write_csv
+
+from benchmarks.conftest import run_once
+
+
+def test_figure12_case_study(benchmark, harness, results_dir):
+    """Per-prediction comparison of method saliency against actual (masking) saliency."""
+
+    def experiment():
+        return harness.case_study_rows(code="BA", model_name="ditto", max_pairs=4)
+
+    rows = run_once(benchmark, experiment)
+
+    print("\n=== Figure 12: case study on BA with Ditto (alignment with actual saliency) ===")
+    print(format_table(rows))
+    write_csv(rows, results_dir / "figure12_case_study.csv")
+
+    assert rows
+    for row in rows:
+        assert 0.0 <= row["alignment_top2"] <= 1.0
+        for key in ("aggr@1", "aggr@2", "aggr@3"):
+            assert row[key] >= 0.0
+
+    by_method: dict[str, list[float]] = {}
+    for row in rows:
+        by_method.setdefault(row["method"], []).append(row["alignment_top2"])
+    means = {method: float(np.mean(values)) for method, values in by_method.items()}
+    print(f"mean top-2 alignment with actual saliency: {means}")
+    assert set(means) == {"certa", "landmark", "mojito", "shap"}

@@ -1,0 +1,24 @@
+"""Table 3: confidence indication of saliency explanations (MAE, lower is better)."""
+
+from __future__ import annotations
+
+from repro.eval.reporting import pivot_metric, win_counts, write_csv
+
+from benchmarks.conftest import run_once
+from benchmarks.bench_table2_faithfulness import saliency_rows
+
+
+def test_table3_confidence_indication(benchmark, harness, results_dir):
+    """Confidence-indication MAE per dataset x model x saliency method."""
+    rows = run_once(benchmark, lambda: saliency_rows(harness))
+
+    print("\n=== Table 3: confidence indication (MAE, lower is better) ===")
+    print(pivot_metric(rows, "confidence_indication"))
+    counts = win_counts(rows, "confidence_indication", lower_is_better=True)
+    print(f"cells won (lower MAE): {counts}")
+    write_csv(rows, results_dir / "table3_confidence.csv")
+
+    assert rows
+    assert all(row["confidence_indication"] >= 0.0 for row in rows)
+    # The MAE of a [0, 1] confidence can never exceed 1.
+    assert all(row["confidence_indication"] <= 1.0 for row in rows)

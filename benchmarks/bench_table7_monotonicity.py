@@ -1,0 +1,43 @@
+"""Table 7: predictions saved by the monotone-classification assumption."""
+
+from __future__ import annotations
+
+from repro.eval.reporting import format_table, write_csv
+
+from benchmarks.conftest import run_once
+
+
+def test_table7_monotonicity_savings(benchmark, harness, results_dir):
+    """Expected / performed / saved predictions per lattice and the error rate."""
+
+    def experiment():
+        return harness.monotonicity_rows(
+            datasets=harness.config.datasets,
+            model_name="deepmatcher",
+            pairs_per_dataset=2,
+            triangles_per_pair=4,
+        )
+
+    rows = run_once(benchmark, experiment)
+
+    print("\n=== Table 7: lattice predictions saved under the monotonicity assumption ===")
+    print(format_table(rows))
+    write_csv(rows, results_dir / "table7_monotonicity.csv")
+
+    assert rows
+    for row in rows:
+        assert row["expected"] == 2 ** row["attributes"] - 2
+        assert 0.0 < row["performed"] <= row["expected"]
+        assert abs(row["saved"] - (row["expected"] - row["performed"])) < 1e-9
+        assert 0.0 <= row["error_rate"] <= 1.0
+
+    # Shape check: wider schemas save a larger fraction of predictions, and the
+    # error rate stays small (the paper reports 1-4%).
+    by_width = sorted(rows, key=lambda row: row["attributes"])
+    narrow = by_width[0]
+    wide = by_width[-1]
+    if wide["attributes"] > narrow["attributes"]:
+        narrow_fraction = narrow["saved"] / narrow["expected"]
+        wide_fraction = wide["saved"] / wide["expected"]
+        assert wide_fraction >= narrow_fraction - 0.15
+    assert all(row["error_rate"] <= 0.25 for row in rows)

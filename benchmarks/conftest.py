@@ -1,0 +1,63 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark file reproduces one table or figure of the paper's Section 5.
+They all share one :class:`ExperimentHarness` (so matchers are trained once per
+dataset) and print their table to stdout; CSV copies land in
+``benchmarks/results/``.
+
+Runtime is controlled by the harness configuration: the default is a reduced
+sweep (3 datasets, 3 matchers, tau = 20 open triangles, a handful of test
+pairs per dataset) that completes in minutes.  Set ``REPRO_FULL=1`` to run the
+full 12-dataset, tau = 100 configuration of the paper.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.harness import ExperimentHarness, HarnessConfig, full_config
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def benchmark_config() -> HarnessConfig:
+    """The harness configuration used by the benchmark suite."""
+    if os.environ.get("REPRO_FULL", "0") == "1":
+        return full_config()
+    return HarnessConfig(
+        datasets=("AB", "BA", "FZ"),
+        models=("deeper", "deepmatcher", "ditto"),
+        dataset_scale=0.5,
+        pairs_per_dataset=6,
+        num_triangles=20,
+        lime_samples=48,
+        shap_coalitions=48,
+        dice_candidates=60,
+        fast_models=True,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def harness() -> ExperimentHarness:
+    """One experiment harness shared by every benchmark (models trained once)."""
+    return ExperimentHarness(benchmark_config())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benchmark CSV artefacts are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_once(benchmark, function):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiments are minutes-long sweeps; statistical repetition is neither
+    needed nor affordable, so every benchmark uses a single round.
+    """
+    return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)

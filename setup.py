@@ -1,0 +1,4 @@
+"""Setup shim: allows editable installs in offline environments without wheel."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro: a reproduction of "Effective Explanations for Entity Resolution Models".
+
+The package implements CERTA (saliency and counterfactual explanations for
+black-box ER matchers via open triangles and attribute lattices), the ER
+matchers it explains (DeepER / DeepMatcher / Ditto stand-ins built on a numpy
+neural substrate), the explanation baselines it is compared against (LIME,
+SHAP, Mojito, LandMark, DiCE, LIME-C, SHAP-C), synthetic versions of the
+twelve benchmark datasets, and the full evaluation harness of the paper's
+Section 5.
+
+Quickstart::
+
+    from repro.data import load_benchmark
+    from repro.models import train_model
+    from repro.certa import CertaExplainer
+
+    dataset = load_benchmark("AB")
+    matcher = train_model("ditto", dataset).model
+    explainer = CertaExplainer(matcher, dataset.left, dataset.right, num_triangles=50)
+    explanation = explainer.explain_full(dataset.test.pairs[0])
+    print(explanation.saliency.ranked())
+    print(explanation.counterfactual.attribute_set)
+"""
+
+from repro.certa import CertaExplainer, CertaExplanation
+from repro.data import ERDataset, Record, RecordPair, load_benchmark
+from repro.exceptions import (
+    DatasetError,
+    EvaluationError,
+    ExplanationError,
+    LatticeError,
+    ModelError,
+    NotFittedError,
+    ReproError,
+    SchemaError,
+    TriangleError,
+)
+from repro.explain import (
+    CounterfactualExplanation,
+    DiceExplainer,
+    LandmarkExplainer,
+    LimeCExplainer,
+    LimeExplainer,
+    MojitoExplainer,
+    SaliencyExplanation,
+    ShapCExplainer,
+    ShapExplainer,
+)
+from repro.models import DeepERModel, DeepMatcherModel, DittoModel, ERModel, train_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CertaExplainer",
+    "CertaExplanation",
+    "CounterfactualExplanation",
+    "DatasetError",
+    "DeepERModel",
+    "DeepMatcherModel",
+    "DiceExplainer",
+    "DittoModel",
+    "ERDataset",
+    "ERModel",
+    "EvaluationError",
+    "ExplanationError",
+    "LandmarkExplainer",
+    "LatticeError",
+    "LimeCExplainer",
+    "LimeExplainer",
+    "ModelError",
+    "MojitoExplainer",
+    "NotFittedError",
+    "Record",
+    "RecordPair",
+    "ReproError",
+    "SaliencyExplanation",
+    "SchemaError",
+    "ShapCExplainer",
+    "ShapExplainer",
+    "TriangleError",
+    "__version__",
+    "load_benchmark",
+    "train_model",
+]

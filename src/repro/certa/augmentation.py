@@ -1,0 +1,96 @@
+"""Data augmentation for support-record generation (Section 3.3).
+
+When a data source does not contain enough records with the opposite
+prediction to build the requested number of open triangles, CERTA fabricates
+additional candidate support records from the existing ones: for each record
+it produces variants in which, for combinations of attributes, the first-k or
+last-k whitespace tokens of the attribute value are dropped (k from 1 to
+n_tokens - 1).  The variants preserve source vocabulary and token order, so
+the classifier remains likely to handle them sensibly.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import Iterable, Iterator
+
+from repro.data.records import Record
+from repro.text.tokenize import whitespace_tokenize
+
+
+def value_token_drops(value: str, max_drop: int | None = None) -> list[str]:
+    """All first-k / last-k token-drop variants of one attribute value."""
+    tokens = whitespace_tokenize(value)
+    if len(tokens) < 2:
+        return []
+    variants: list[str] = []
+    upper = len(tokens) - 1 if max_drop is None else min(max_drop, len(tokens) - 1)
+    for k in range(1, upper + 1):
+        variants.append(" ".join(tokens[k:]))   # drop first k tokens
+        variants.append(" ".join(tokens[:-k]))  # drop last k tokens
+    # Deduplicate while preserving order.
+    seen: dict[str, None] = {}
+    for variant in variants:
+        if variant and variant != value:
+            seen.setdefault(variant, None)
+    return list(seen)
+
+
+def record_variants(
+    record: Record,
+    max_attributes_changed: int = 2,
+    max_variants: int = 50,
+    rng: random.Random | None = None,
+) -> Iterator[Record]:
+    """Yield augmented variants of one record (bounded by ``max_variants``).
+
+    Variants change every combination of up to ``max_attributes_changed``
+    attributes, replacing each changed value with one of its token-drop
+    variants.  A random generator shuffles the combination order so that the
+    truncation to ``max_variants`` does not always favour the first attributes.
+    """
+    rng = rng or random.Random(0)
+    attribute_names = [name for name in record.attribute_names() if record.value(name)]
+    produced = 0
+    combination_sizes = list(range(1, min(max_attributes_changed, len(attribute_names)) + 1))
+    all_combinations: list[tuple[str, ...]] = []
+    for size in combination_sizes:
+        all_combinations.extend(combinations(attribute_names, size))
+    rng.shuffle(all_combinations)
+
+    for combination in all_combinations:
+        per_attribute_variants = {name: value_token_drops(record.value(name)) for name in combination}
+        if any(not variants for variants in per_attribute_variants.values()):
+            continue
+        # Take one random variant per attribute per combination; repeating the
+        # combination with different draws is handled by the caller asking for
+        # more variants.
+        for _ in range(2):
+            replacements = {
+                name: variants[rng.randrange(len(variants))]
+                for name, variants in per_attribute_variants.items()
+            }
+            yield record.replace_values(replacements, suffix=f"+da{produced}")
+            produced += 1
+            if produced >= max_variants:
+                return
+
+
+def augment_records(
+    records: Iterable[Record],
+    needed: int,
+    rng: random.Random | None = None,
+    max_variants_per_record: int = 10,
+) -> list[Record]:
+    """Generate up to ``needed`` augmented candidate support records."""
+    rng = rng or random.Random(0)
+    augmented: list[Record] = []
+    source_records = list(records)
+    rng.shuffle(source_records)
+    for record in source_records:
+        for variant in record_variants(record, max_variants=max_variants_per_record, rng=rng):
+            augmented.append(variant)
+            if len(augmented) >= needed:
+                return augmented
+    return augmented

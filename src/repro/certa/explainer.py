@@ -1,0 +1,305 @@
+"""The CERTA explainer (Algorithm 1 of the paper).
+
+For a prediction ``M(<u, v>) = y``, CERTA:
+
+1. finds ``tau`` open triangles (half with a left support record, half right);
+2. builds a powerset lattice per triangle and tags each node with the flipping
+   operator, using monotone propagation to avoid redundant model calls;
+3. accumulates necessity counts per attribute and sufficiency counts per
+   attribute set from the flipped nodes;
+4. returns the saliency explanation (``phi_a = N[a] / f``) and the
+   counterfactual explanation (examples whose changed attribute set is the
+   golden set ``A*`` of Equation 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.data.records import RecordPair
+from repro.data.table import DataSource
+from repro.exceptions import ExplanationError
+from repro.explain.base import (
+    CounterfactualExample,
+    CounterfactualExplainer,
+    CounterfactualExplanation,
+    SaliencyExplainer,
+    SaliencyExplanation,
+    prefixed_attribute,
+)
+from repro.models.base import MATCH_THRESHOLD, ERModel
+from repro.certa.lattice import AttributeLattice, ExplorationStats, explore_lattice
+from repro.certa.perturbation import perturbed_pair
+from repro.certa.triangles import OpenTriangle, TriangleSearchResult, find_open_triangles
+
+
+@dataclass
+class CertaExplanation:
+    """The full CERTA output: saliency plus counterfactuals plus diagnostics."""
+
+    saliency: SaliencyExplanation
+    counterfactual: CounterfactualExplanation
+    triangles_used: int
+    triangles_requested: int
+    augmented_triangles: int
+    flips: int
+    exploration: list[ExplorationStats] = field(default_factory=list)
+    sufficiency_by_set: dict[tuple[str, frozenset[str]], float] = field(default_factory=dict)
+
+    @property
+    def prediction(self) -> float:
+        return self.saliency.prediction
+
+    def saliency_scores(self) -> dict[str, float]:
+        """Prefixed attribute name -> probability of necessity."""
+        return dict(self.saliency.scores)
+
+    def best_sufficiency(self) -> float:
+        """The probability of sufficiency of the golden attribute set."""
+        return self.counterfactual.sufficiency
+
+    def average_sufficiency(self) -> float:
+        """Mean probability of sufficiency across attribute sets (Figure 11a)."""
+        if not self.sufficiency_by_set:
+            return 0.0
+        return sum(self.sufficiency_by_set.values()) / len(self.sufficiency_by_set)
+
+    def average_necessity(self) -> float:
+        """Mean probability of necessity across attributes (Figure 11b)."""
+        if not self.saliency.scores:
+            return 0.0
+        return sum(self.saliency.scores.values()) / len(self.saliency.scores)
+
+    def performed_predictions(self) -> int:
+        """Model calls spent on lattice nodes across all triangles."""
+        return sum(stats.performed_predictions for stats in self.exploration)
+
+    def saved_predictions(self) -> int:
+        """Model calls avoided thanks to the monotonicity assumption."""
+        return sum(stats.saved_predictions for stats in self.exploration)
+
+
+class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
+    """ER-aware saliency and counterfactual explainer (the paper's contribution)."""
+
+    method_name = "certa"
+
+    def __init__(
+        self,
+        model: ERModel,
+        left_source: DataSource,
+        right_source: DataSource,
+        num_triangles: int = 100,
+        monotone: bool = True,
+        allow_augmentation: bool = True,
+        force_augmentation: bool = False,
+        max_candidates: int | None = 400,
+        max_examples: int = 10,
+        strict: bool = False,
+        seed: int = 0,
+    ) -> None:
+        SaliencyExplainer.__init__(self, model)
+        self.left_source = left_source
+        self.right_source = right_source
+        self.num_triangles = num_triangles
+        self.monotone = monotone
+        self.allow_augmentation = allow_augmentation
+        self.force_augmentation = force_augmentation
+        self.max_candidates = max_candidates
+        self.max_examples = max_examples
+        self.strict = strict
+        self.seed = seed
+
+    # ------------------------------------------------------------------ helpers
+
+    def _find_triangles(self, pair: RecordPair, num_triangles: int | None = None) -> TriangleSearchResult:
+        return find_open_triangles(
+            self.model,
+            pair,
+            self.left_source,
+            self.right_source,
+            count=num_triangles or self.num_triangles,
+            seed=self.seed,
+            max_candidates=self.max_candidates,
+            allow_augmentation=self.allow_augmentation,
+            force_augmentation=self.force_augmentation,
+        )
+
+    def _process_triangle(
+        self,
+        triangle: OpenTriangle,
+        original_match: bool,
+    ) -> tuple[AttributeLattice, ExplorationStats]:
+        """Build and explore the lattice of one open triangle."""
+        free_attributes = list(triangle.free_record.attribute_names())
+        lattice = AttributeLattice(free_attributes)
+
+        def evaluate(attributes: frozenset[str]) -> bool:
+            perturbed = perturbed_pair(triangle.pair, triangle.side, triangle.support, attributes)
+            score = self.model.predict_pair(perturbed)
+            return (score > MATCH_THRESHOLD) != original_match
+
+        stats = explore_lattice(lattice, evaluate, monotone=self.monotone)
+        return lattice, stats
+
+    # ---------------------------------------------------------------- main API
+
+    def explain_full(self, pair: RecordPair, num_triangles: int | None = None) -> CertaExplanation:
+        """Run the complete CERTA algorithm for one prediction."""
+        original_score = self.model.predict_pair(pair)
+        original_match = original_score > MATCH_THRESHOLD
+
+        search = self._find_triangles(pair, num_triangles)
+        if not search.triangles:
+            if self.strict:
+                raise ExplanationError(
+                    "no open triangles could be found for this prediction; "
+                    "the data sources contain no record with the opposite prediction"
+                )
+            return self._degenerate_explanation(pair, original_score, search)
+
+        # Counters of Algorithm 1: necessity N[a], sufficiency S[A], flips f.
+        necessity: dict[str, int] = {}
+        sufficiency: dict[tuple[str, frozenset[str]], int] = {}
+        flips = 0
+        triangles_by_side = {"left": 0, "right": 0}
+        flipping_triangles: dict[tuple[str, frozenset[str]], list[OpenTriangle]] = {}
+        exploration: list[ExplorationStats] = []
+
+        for triangle in search.triangles:
+            triangles_by_side[triangle.side] += 1
+            lattice, stats = self._process_triangle(triangle, original_match)
+            exploration.append(stats)
+            candidate_sets = set(lattice.candidate_sets())
+            for node in lattice.flipped_nodes():
+                flips += 1
+                for attribute in node.attributes:
+                    name = prefixed_attribute(triangle.side, attribute)
+                    necessity[name] = necessity.get(name, 0) + 1
+                if node.attributes in candidate_sets:
+                    key = (triangle.side, node.attributes)
+                    sufficiency[key] = sufficiency.get(key, 0) + 1
+                    flipping_triangles.setdefault(key, []).append(triangle)
+
+        # Saliency scores (probability of necessity, Equation 1).
+        saliency_scores: dict[str, float] = {}
+        for side, record in (("left", pair.left), ("right", pair.right)):
+            for attribute in record.attribute_names():
+                name = prefixed_attribute(side, attribute)
+                saliency_scores[name] = necessity.get(name, 0) / flips if flips else 0.0
+        saliency = SaliencyExplanation(
+            pair=pair,
+            prediction=original_score,
+            scores=saliency_scores,
+            method=self.method_name,
+            metadata={"triangles": float(len(search.triangles)), "flips": float(flips)},
+        )
+
+        # Probability of sufficiency per attribute set (Equation 2), normalised
+        # by the number of triangles on the same side as in the worked example.
+        sufficiency_probability: dict[tuple[str, frozenset[str]], float] = {}
+        for (side, attributes), count in sufficiency.items():
+            denominator = triangles_by_side[side] or 1
+            sufficiency_probability[(side, attributes)] = count / denominator
+
+        # Golden attribute set A* (Equation 3): max sufficiency, then smallest set.
+        best_key: tuple[str, frozenset[str]] | None = None
+        best_probability = 0.0
+        for key, probability in sorted(
+            sufficiency_probability.items(), key=lambda item: (item[0][0], tuple(sorted(item[0][1])))
+        ):
+            if probability > best_probability or (
+                best_key is not None
+                and probability == best_probability
+                and len(key[1]) < len(best_key[1])
+            ):
+                best_probability = probability
+                best_key = key
+
+        examples: list[CounterfactualExample] = []
+        attribute_set: tuple[str, ...] = ()
+        if best_key is not None:
+            side, attributes = best_key
+            attribute_set = tuple(sorted(prefixed_attribute(side, attribute) for attribute in attributes))
+            for triangle in flipping_triangles.get(best_key, [])[: self.max_examples]:
+                perturbed = perturbed_pair(triangle.pair, side, triangle.support, attributes)
+                score = float(self.model.predict_pair(perturbed))
+                examples.append(
+                    CounterfactualExample(
+                        pair=perturbed,
+                        changed_attributes=attribute_set,
+                        score=score,
+                        original_score=original_score,
+                    )
+                )
+        counterfactual = CounterfactualExplanation(
+            pair=pair,
+            prediction=original_score,
+            examples=examples,
+            method=self.method_name,
+            attribute_set=attribute_set,
+            sufficiency=best_probability,
+            metadata={"candidate_sets": float(len(sufficiency_probability))},
+        )
+
+        return CertaExplanation(
+            saliency=saliency,
+            counterfactual=counterfactual,
+            triangles_used=len(search.triangles),
+            triangles_requested=search.requested,
+            augmented_triangles=search.augmented_count,
+            flips=flips,
+            exploration=exploration,
+            sufficiency_by_set=sufficiency_probability,
+        )
+
+    def _degenerate_explanation(
+        self, pair: RecordPair, original_score: float, search: TriangleSearchResult
+    ) -> CertaExplanation:
+        """All-zero explanation returned when no open triangle exists.
+
+        This mirrors the behaviour of the released CERTA implementation: the
+        method cannot say anything about such a prediction, and the evaluation
+        metrics simply penalise it for that pair.
+        """
+        scores = {}
+        for side, record in (("left", pair.left), ("right", pair.right)):
+            for attribute in record.attribute_names():
+                scores[prefixed_attribute(side, attribute)] = 0.0
+        saliency = SaliencyExplanation(
+            pair=pair,
+            prediction=original_score,
+            scores=scores,
+            method=self.method_name,
+            metadata={"triangles": 0.0, "flips": 0.0},
+        )
+        counterfactual = CounterfactualExplanation(
+            pair=pair,
+            prediction=original_score,
+            examples=[],
+            method=self.method_name,
+            attribute_set=(),
+            sufficiency=0.0,
+            metadata={"candidate_sets": 0.0},
+        )
+        return CertaExplanation(
+            saliency=saliency,
+            counterfactual=counterfactual,
+            triangles_used=0,
+            triangles_requested=search.requested,
+            augmented_triangles=0,
+            flips=0,
+            exploration=[],
+            sufficiency_by_set={},
+        )
+
+    # ------------------------------------------------- protocol implementations
+
+    def explain(self, pair: RecordPair) -> SaliencyExplanation:
+        """Saliency explanation (probability of necessity per attribute)."""
+        return self.explain_full(pair).saliency
+
+    def explain_counterfactual(self, pair: RecordPair) -> CounterfactualExplanation:
+        """Counterfactual explanation (examples over the golden attribute set)."""
+        return self.explain_full(pair).counterfactual

@@ -1,0 +1,237 @@
+"""Attribute powerset lattices, flipping antichains and monotone exploration.
+
+For every open triangle CERTA builds a lattice over the powerset of the free
+record's attributes (Section 4 of the paper).  Each node is tagged with the
+flipping operator ``gamma``: 1 when copying the node's attributes from the
+support record flips the prediction, 0 otherwise.  Under the monotone
+classifier assumption a flip at node ``A`` implies a flip at every superset of
+``A``, so a bottom-up breadth-first exploration only needs to *test* nodes that
+cannot be inferred — the saved predictions are quantified in Table 7 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Callable, Iterable, Sequence
+
+from repro.exceptions import LatticeError
+
+
+@dataclass
+class LatticeNode:
+    """One subset of attributes with its flip tag and provenance."""
+
+    attributes: frozenset[str]
+    flip: bool | None = None
+    evaluated: bool = False  # True when the model was actually called
+
+    @property
+    def size(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def tagged(self) -> bool:
+        """Whether the node has a flip / non-flip tag (tested or inferred)."""
+        return self.flip is not None
+
+
+@dataclass
+class ExplorationStats:
+    """Bookkeeping of one lattice exploration (feeds Table 7)."""
+
+    attributes: int
+    expected_predictions: int
+    performed_predictions: int
+
+    @property
+    def saved_predictions(self) -> int:
+        return self.expected_predictions - self.performed_predictions
+
+
+class AttributeLattice:
+    """Powerset lattice over the attributes of one record schema.
+
+    The empty set is excluded (perturbing nothing can never flip); the full
+    attribute set is included and tagged, but Equation 3 excludes it from the
+    counterfactual argmax, which :meth:`candidate_sets` honours.
+    """
+
+    def __init__(self, attributes: Sequence[str]) -> None:
+        attributes = list(attributes)
+        if not attributes:
+            raise LatticeError("cannot build a lattice over zero attributes")
+        if len(set(attributes)) != len(attributes):
+            raise LatticeError(f"duplicate attributes in lattice: {attributes}")
+        self.attributes = tuple(attributes)
+        self._nodes: dict[frozenset[str], LatticeNode] = {}
+        for size in range(1, len(attributes) + 1):
+            for subset in combinations(attributes, size):
+                key = frozenset(subset)
+                self._nodes[key] = LatticeNode(attributes=key)
+
+    # ------------------------------------------------------------------ access
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, attributes: Iterable[str]) -> bool:
+        return frozenset(attributes) in self._nodes
+
+    def node(self, attributes: Iterable[str]) -> LatticeNode:
+        """The node for a given attribute set."""
+        key = frozenset(attributes)
+        try:
+            return self._nodes[key]
+        except KeyError as exc:
+            raise LatticeError(f"attribute set {sorted(key)} not in lattice") from exc
+
+    def nodes(self) -> list[LatticeNode]:
+        """All nodes, ordered by subset size then lexicographically."""
+        return sorted(self._nodes.values(), key=lambda node: (node.size, tuple(sorted(node.attributes))))
+
+    def levels(self) -> list[list[LatticeNode]]:
+        """Nodes grouped by subset size (level 1 first)."""
+        grouped: dict[int, list[LatticeNode]] = {}
+        for node in self.nodes():
+            grouped.setdefault(node.size, []).append(node)
+        return [grouped[size] for size in sorted(grouped)]
+
+    def supersets(self, attributes: Iterable[str], strict: bool = True) -> list[LatticeNode]:
+        """All (strict) superset nodes of an attribute set."""
+        key = frozenset(attributes)
+        result = []
+        for node in self._nodes.values():
+            if key < node.attributes or (not strict and key == node.attributes):
+                result.append(node)
+        return result
+
+    def subsets(self, attributes: Iterable[str], strict: bool = True) -> list[LatticeNode]:
+        """All (strict) non-empty subset nodes of an attribute set."""
+        key = frozenset(attributes)
+        result = []
+        for node in self._nodes.values():
+            if node.attributes < key or (not strict and node.attributes == key):
+                result.append(node)
+        return result
+
+    # ----------------------------------------------------------------- tagging
+
+    def tag(self, attributes: Iterable[str], flip: bool, evaluated: bool = True) -> None:
+        """Tag one node with a flip / non-flip outcome."""
+        node = self.node(attributes)
+        node.flip = flip
+        node.evaluated = evaluated
+
+    def propagate_flip(self, attributes: Iterable[str]) -> int:
+        """Infer a flip for every untagged superset (monotone assumption).
+
+        Returns the number of nodes whose tag was inferred by this call.
+        """
+        inferred = 0
+        for node in self.supersets(attributes, strict=True):
+            if node.flip is None:
+                node.flip = True
+                node.evaluated = False
+                inferred += 1
+        return inferred
+
+    # ------------------------------------------------------------------ queries
+
+    def flipped_nodes(self) -> list[LatticeNode]:
+        """All nodes tagged as flips (tested or inferred)."""
+        return [node for node in self.nodes() if node.flip]
+
+    def evaluated_nodes(self) -> list[LatticeNode]:
+        """All nodes whose tag came from an actual model call."""
+        return [node for node in self.nodes() if node.tagged and node.evaluated]
+
+    def minimal_flipping_antichain(self) -> list[frozenset[str]]:
+        """The minimal flipping antichain: flips none of whose subsets flip."""
+        flipped = {node.attributes for node in self.flipped_nodes()}
+        antichain = []
+        for attributes in flipped:
+            if not any(other < attributes for other in flipped):
+                antichain.append(attributes)
+        return sorted(antichain, key=lambda item: (len(item), tuple(sorted(item))))
+
+    def candidate_sets(self) -> list[frozenset[str]]:
+        """Flipped attribute sets eligible as counterfactual sets (Eq. 3).
+
+        The full attribute set is excluded: a counterfactual that rewrites the
+        whole record is not considered an explanation.
+        """
+        full = frozenset(self.attributes)
+        return [node.attributes for node in self.flipped_nodes() if node.attributes != full]
+
+
+def explore_lattice(
+    lattice: AttributeLattice,
+    evaluate: Callable[[frozenset[str]], bool],
+    monotone: bool = True,
+) -> ExplorationStats:
+    """Tag every lattice node bottom-up, using monotone propagation if enabled.
+
+    ``evaluate`` is called with an attribute set and must return True when the
+    corresponding perturbation flips the prediction.  With ``monotone=True``
+    tags of supersets of flipping nodes are inferred; with ``monotone=False``
+    every node is evaluated explicitly (the exhaustive mode used to measure the
+    error rate of the monotonicity assumption).
+
+    Following the paper (footnote 2), the full attribute set is never evaluated
+    explicitly: its tag is either inferred from a flipping subset or defaults
+    to non-flip.  This keeps the "expected predictions" budget at ``2^l - 2``.
+    """
+    performed = 0
+    full_set = frozenset(lattice.attributes)
+    for level in lattice.levels():
+        for node in level:
+            if node.tagged:
+                continue
+            if node.attributes == full_set and len(lattice.attributes) > 1:
+                any_flip = any(
+                    other.flip for other in lattice.nodes()
+                    if other.tagged and other.attributes != full_set
+                )
+                lattice.tag(node.attributes, bool(any_flip), evaluated=False)
+                continue
+            flip = bool(evaluate(node.attributes))
+            performed += 1
+            lattice.tag(node.attributes, flip, evaluated=True)
+            if flip and monotone:
+                lattice.propagate_flip(node.attributes)
+    expected = 2 ** len(lattice.attributes) - 2  # paper counts neither the empty nor the full set
+    return ExplorationStats(
+        attributes=len(lattice.attributes),
+        expected_predictions=expected,
+        performed_predictions=performed,
+    )
+
+
+def monotonicity_violations(
+    lattice_attributes: Sequence[str],
+    evaluate: Callable[[frozenset[str]], bool],
+) -> tuple[AttributeLattice, AttributeLattice, int, int]:
+    """Compare monotone exploration against exhaustive evaluation on one lattice.
+
+    Returns ``(monotone_lattice, exhaustive_lattice, saved, wrong)`` where
+    ``saved`` is the number of predictions the monotone mode skipped and
+    ``wrong`` is the number of skipped nodes whose inferred tag disagrees with
+    the true (exhaustively computed) tag.  This feeds the error-rate column of
+    Table 7.
+    """
+    monotone_lattice = AttributeLattice(lattice_attributes)
+    monotone_stats = explore_lattice(monotone_lattice, evaluate, monotone=True)
+    exhaustive_lattice = AttributeLattice(lattice_attributes)
+    explore_lattice(exhaustive_lattice, evaluate, monotone=False)
+
+    wrong = 0
+    for node in monotone_lattice.nodes():
+        if node.evaluated:
+            continue
+        true_flip = exhaustive_lattice.node(node.attributes).flip
+        if node.flip != true_flip:
+            wrong += 1
+    saved = monotone_stats.saved_predictions
+    return monotone_lattice, exhaustive_lattice, saved, wrong

@@ -1,0 +1,44 @@
+"""The perturbing record function ``psi`` (Section 3 of the paper).
+
+Given an open triangle ``<u, v, w>`` and a set of attributes ``A`` of the free
+record, ``psi(u, w, A)`` builds a perturbed copy ``u'`` of the free record in
+which the values of all attributes in ``A`` are replaced by the corresponding
+values of the support record ``w``.  Because the copied token sequences come
+from real records of the same source, the perturbed copies stay close to the
+training distribution — the property that distinguishes CERTA's perturbations
+from LIME-style random masking.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.data.records import Record, RecordPair
+from repro.exceptions import ExplanationError
+
+
+def perturb_record(free: Record, support: Record, attributes: Iterable[str]) -> Record:
+    """``psi(free, support, A)``: copy the values of ``attributes`` from support to free."""
+    attributes = tuple(attributes)
+    unknown_free = [name for name in attributes if name not in free.values]
+    if unknown_free:
+        raise ExplanationError(f"attributes {unknown_free} not in the free record")
+    unknown_support = [name for name in attributes if name not in support.values]
+    if unknown_support:
+        raise ExplanationError(f"attributes {unknown_support} not in the support record")
+    replacements = {name: support.value(name) for name in attributes}
+    return free.replace_values(replacements, suffix="~psi")
+
+
+def perturbed_pair(pair: RecordPair, side: str, support: Record, attributes: Iterable[str]) -> RecordPair:
+    """Build the perturbed record pair for one lattice node of one open triangle.
+
+    ``side`` names the free record: ``"left"`` for left open triangles (the
+    left record is perturbed, the right record is the pivot) and ``"right"``
+    for right open triangles.
+    """
+    if side == "left":
+        return pair.with_left(perturb_record(pair.left, support, attributes))
+    if side == "right":
+        return pair.with_right(perturb_record(pair.right, support, attributes))
+    raise ExplanationError(f"side must be 'left' or 'right', got {side!r}")

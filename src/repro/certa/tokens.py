@@ -1,0 +1,84 @@
+"""Token-level saliency drill-down (the paper's future-work extension).
+
+Section 6 of the paper lists token-level explanations as future work.  This
+module provides a first-class implementation: after CERTA has identified the
+salient attributes, :func:`token_saliency` re-uses the open-triangle idea at
+token granularity inside a single attribute — sequences of tokens of the free
+record are progressively replaced by the support record's tokens, and each
+token is scored by how often its replacement co-occurs with a prediction flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.records import RecordPair
+from repro.explain.base import split_prefixed
+from repro.models.base import MATCH_THRESHOLD, ERModel
+from repro.certa.triangles import OpenTriangle
+from repro.text.tokenize import whitespace_tokenize
+
+
+@dataclass
+class TokenSaliency:
+    """Token-level necessity scores for one attribute of one record pair."""
+
+    attribute: str
+    tokens: list[str]
+    scores: list[float]
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """Tokens sorted by descending saliency."""
+        pairs = list(zip(self.tokens, self.scores))
+        return sorted(pairs, key=lambda item: (-item[1], item[0]))
+
+    def top_tokens(self, count: int) -> list[str]:
+        """The ``count`` most salient tokens."""
+        return [token for token, _ in self.ranked()[:count]]
+
+
+def token_saliency(
+    model: ERModel,
+    pair: RecordPair,
+    prefixed_name: str,
+    triangles: list[OpenTriangle],
+    max_triangles: int = 20,
+) -> TokenSaliency:
+    """Token-level necessity scores for one attribute, reusing open triangles.
+
+    For each triangle on the attribute's side, every prefix/suffix replacement
+    boundary is evaluated; a token's score is the fraction of evaluated
+    replacements containing that token that flipped the prediction.
+    """
+    side, attribute = split_prefixed(prefixed_name)
+    free_record = pair.left if side == "left" else pair.right
+    tokens = whitespace_tokenize(free_record.value(attribute))
+    if not tokens:
+        return TokenSaliency(attribute=prefixed_name, tokens=[], scores=[])
+
+    original_match = model.predict_pair(pair) > MATCH_THRESHOLD
+    flip_counts = [0] * len(tokens)
+    change_counts = [0] * len(tokens)
+
+    usable = [triangle for triangle in triangles if triangle.side == side][:max_triangles]
+    for triangle in usable:
+        support_tokens = whitespace_tokenize(triangle.support.value(attribute))
+        for boundary in range(1, len(tokens) + 1):
+            # Replace the first ``boundary`` tokens with the support record's value.
+            replaced = " ".join(support_tokens + tokens[boundary:]) if support_tokens else " ".join(tokens[boundary:])
+            if side == "left":
+                perturbed = pair.with_left(free_record.replace_values({attribute: replaced}))
+            else:
+                perturbed = pair.with_right(free_record.replace_values({attribute: replaced}))
+            score = model.predict_pair(perturbed)
+            flipped = (score > MATCH_THRESHOLD) != original_match
+            for index in range(boundary):
+                change_counts[index] += 1
+                if flipped:
+                    flip_counts[index] += 1
+
+    scores = [
+        flip_counts[index] / change_counts[index] if change_counts[index] else 0.0
+        for index in range(len(tokens))
+    ]
+    return TokenSaliency(attribute=prefixed_name, tokens=tokens, scores=scores)

@@ -1,0 +1,220 @@
+"""Open-triangle discovery (Section 3.3 of the paper).
+
+An open triangle for a prediction ``M(<u, v>) = y`` is a triple ``<u, v, w>``
+where the support record ``w`` comes from the same source as the free record
+and receives the *opposite* prediction against the pivot
+(``M(<w, v>) = not y`` for left triangles).  CERTA needs ``tau`` triangles,
+half left and half right; when a source cannot supply enough support records,
+the data-augmentation fallback of :mod:`repro.certa.augmentation` fabricates
+additional candidates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.blocking import overlap_score
+from repro.data.records import Record, RecordPair
+from repro.data.table import DataSource
+from repro.exceptions import TriangleError
+from repro.models.base import MATCH_THRESHOLD, ERModel
+from repro.certa.augmentation import augment_records
+
+
+@dataclass(frozen=True)
+class OpenTriangle:
+    """One open triangle: the original pair, the free side and the support record."""
+
+    pair: RecordPair
+    side: str  # "left" when the left record is free, "right" otherwise
+    support: Record
+    augmented: bool = False
+
+    @property
+    def free_record(self) -> Record:
+        """The record that will be perturbed."""
+        return self.pair.left if self.side == "left" else self.pair.right
+
+    @property
+    def pivot_record(self) -> Record:
+        """The record that stays fixed."""
+        return self.pair.right if self.side == "left" else self.pair.left
+
+    def support_pair(self) -> RecordPair:
+        """The pair ``<w, v>`` (or ``<u, q>``) whose prediction defines the triangle."""
+        if self.side == "left":
+            return RecordPair(left=self.support, right=self.pair.right)
+        return RecordPair(left=self.pair.left, right=self.support)
+
+
+@dataclass
+class TriangleSearchResult:
+    """Triangles found for one prediction, with bookkeeping for Table 8."""
+
+    triangles: list[OpenTriangle]
+    requested: int
+    candidates_scored: int
+    augmented_count: int
+
+    @property
+    def natural_count(self) -> int:
+        """Triangles built from real (non-augmented) support records."""
+        return len(self.triangles) - self.augmented_count
+
+    def by_side(self, side: str) -> list[OpenTriangle]:
+        """Triangles whose free record is on ``side``."""
+        return [triangle for triangle in self.triangles if triangle.side == side]
+
+
+def _ranked_candidates(
+    source: DataSource,
+    pivot: Record,
+    free: Record,
+    want_match: bool,
+    rng: random.Random,
+    max_candidates: int | None,
+) -> list[Record]:
+    """Candidate support records, ordered to find the wanted prediction fast.
+
+    When the search needs support records that *match* the pivot, records
+    similar to the pivot are tried first; when it needs non-matching support
+    records, a shuffled order is enough because most records do not match.
+    """
+    candidates = [record for record in source if record.record_id != free.record_id]
+    if want_match:
+        candidates.sort(
+            key=lambda record: (-overlap_score(record, pivot), record.record_id)
+        )
+    else:
+        rng.shuffle(candidates)
+    if max_candidates is not None:
+        candidates = candidates[:max_candidates]
+    return candidates
+
+
+def _find_side_triangles(
+    model: ERModel,
+    pair: RecordPair,
+    side: str,
+    source: DataSource,
+    original_match: bool,
+    needed: int,
+    rng: random.Random,
+    max_candidates: int | None,
+    allow_augmentation: bool,
+    force_augmentation: bool = False,
+    batch_size: int = 32,
+) -> tuple[list[OpenTriangle], int, int]:
+    """Find up to ``needed`` triangles on one side; returns (triangles, scored, augmented)."""
+    free = pair.left if side == "left" else pair.right
+    pivot = pair.right if side == "left" else pair.left
+    want_match = not original_match  # support record must get the opposite prediction
+
+    def support_pair(record: Record) -> RecordPair:
+        if side == "left":
+            return RecordPair(left=record, right=pair.right)
+        return RecordPair(left=pair.left, right=record)
+
+    triangles: list[OpenTriangle] = []
+    scored = 0
+
+    def scan(candidates: Sequence[Record], augmented: bool) -> None:
+        nonlocal scored
+        for start in range(0, len(candidates), batch_size):
+            if len(triangles) >= needed:
+                return
+            batch = candidates[start : start + batch_size]
+            scores = model.predict_proba([support_pair(record) for record in batch])
+            scored += len(batch)
+            for record, score in zip(batch, scores):
+                is_match = score > MATCH_THRESHOLD
+                if is_match == want_match:
+                    triangles.append(
+                        OpenTriangle(pair=pair, side=side, support=record, augmented=augmented)
+                    )
+                    if len(triangles) >= needed:
+                        return
+
+    natural_candidates = _ranked_candidates(source, pivot, free, want_match, rng, max_candidates)
+    if not force_augmentation:
+        scan(natural_candidates, augmented=False)
+    augmented_used = 0
+
+    if len(triangles) < needed and (allow_augmentation or force_augmentation):
+        missing = needed - len(triangles)
+        # Fabricate candidates from the records most likely to produce the
+        # wanted prediction: records similar to the pivot when a match is
+        # needed, arbitrary records otherwise.
+        base_records = natural_candidates[: max(missing * 4, 20)]
+        fabricated = augment_records(base_records, needed=missing * 6, rng=rng)
+        before = len(triangles)
+        scan(fabricated, augmented=True)
+        augmented_used = len(triangles) - before
+    return triangles, scored, augmented_used
+
+
+def find_open_triangles(
+    model: ERModel,
+    pair: RecordPair,
+    left_source: DataSource,
+    right_source: DataSource,
+    count: int = 100,
+    seed: int = 0,
+    max_candidates: int | None = 400,
+    allow_augmentation: bool = True,
+    force_augmentation: bool = False,
+) -> TriangleSearchResult:
+    """Find ``count`` open triangles for a prediction (half left, half right).
+
+    ``force_augmentation=True`` skips real support records entirely and builds
+    every triangle from augmented (token-dropped) candidates — the stress test
+    of Tables 9-10 of the paper.
+
+    When one side cannot provide its share even with augmentation, the other
+    side is allowed to compensate so the total stays as close to ``count`` as
+    the data permits (the paper's Table 8 documents exactly this shortfall for
+    the smallest datasets).
+    """
+    if count <= 0:
+        raise TriangleError(f"triangle count must be positive, got {count}")
+    if len(left_source) == 0 or len(right_source) == 0:
+        raise TriangleError("both data sources must be non-empty to build triangles")
+
+    rng = random.Random(seed)
+    original_match = model.predict_match(pair)
+    per_side = count // 2
+
+    left_triangles, left_scored, left_augmented = _find_side_triangles(
+        model, pair, "left", left_source, original_match, per_side, rng,
+        max_candidates, allow_augmentation, force_augmentation,
+    )
+    right_needed = count - len(left_triangles) if len(left_triangles) < per_side else count - per_side
+    right_triangles, right_scored, right_augmented = _find_side_triangles(
+        model, pair, "right", right_source, original_match, right_needed, rng,
+        max_candidates, allow_augmentation, force_augmentation,
+    )
+    triangles = left_triangles + right_triangles
+
+    # Let the left side compensate for a short right side.
+    if len(triangles) < count and len(left_triangles) == per_side:
+        extra_needed = count - len(triangles)
+        extra, extra_scored, extra_augmented = _find_side_triangles(
+            model, pair, "left", left_source, original_match,
+            per_side + extra_needed, rng, max_candidates, allow_augmentation, force_augmentation,
+        )
+        new_triangles = [
+            triangle for triangle in extra
+            if all(triangle.support.record_id != existing.support.record_id for existing in left_triangles)
+        ]
+        triangles.extend(new_triangles[:extra_needed])
+        left_scored += extra_scored
+        left_augmented += extra_augmented
+
+    return TriangleSearchResult(
+        triangles=triangles,
+        requested=count,
+        candidates_scored=left_scored + right_scored,
+        augmented_count=left_augmented + right_augmented,
+    )

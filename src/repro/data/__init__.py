@@ -1,0 +1,59 @@
+"""Data substrate: records, sources, datasets, synthetic benchmarks and IO."""
+
+from repro.data.blocking import BlockingResult, candidate_pairs, token_blocking, top_k_neighbours
+from repro.data.dataset import ERDataset, PairSplit, build_dataset, split_pairs
+from repro.data.dirty import dirtiness_rate, make_dirty_record, make_dirty_source
+from repro.data.io import (
+    load_dataset,
+    read_pairs_csv,
+    read_source_csv,
+    save_dataset,
+    write_pairs_csv,
+    write_source_csv,
+)
+from repro.data.records import MISSING_VALUE, Record, RecordPair, Schema, normalize_value
+from repro.data.registry import (
+    BENCHMARK_CODES,
+    BenchmarkInfo,
+    benchmark_info,
+    list_benchmarks,
+    load_benchmark,
+    table1_statistics,
+)
+from repro.data.synthetic import SyntheticConfig, ViewSpec, generate_dataset
+from repro.data.table import DataSource
+
+__all__ = [
+    "BENCHMARK_CODES",
+    "BenchmarkInfo",
+    "BlockingResult",
+    "DataSource",
+    "ERDataset",
+    "MISSING_VALUE",
+    "PairSplit",
+    "Record",
+    "RecordPair",
+    "Schema",
+    "SyntheticConfig",
+    "ViewSpec",
+    "benchmark_info",
+    "build_dataset",
+    "candidate_pairs",
+    "dirtiness_rate",
+    "generate_dataset",
+    "list_benchmarks",
+    "load_benchmark",
+    "load_dataset",
+    "make_dirty_record",
+    "make_dirty_source",
+    "normalize_value",
+    "read_pairs_csv",
+    "read_source_csv",
+    "save_dataset",
+    "split_pairs",
+    "table1_statistics",
+    "token_blocking",
+    "top_k_neighbours",
+    "write_pairs_csv",
+    "write_source_csv",
+]

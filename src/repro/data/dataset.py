@@ -1,0 +1,232 @@
+"""ER datasets: two data sources, labelled pairs, and train/valid/test splits.
+
+This mirrors the structure of the DeepMatcher benchmark datasets the paper
+evaluates on: each dataset ships two tables plus labelled candidate pairs split
+into train / validation / test sets.  The explainers additionally need access
+to the full record sources (for open-triangle discovery), which is why the
+dataset object keeps the sources and the splits together.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.data.records import Record, RecordPair
+from repro.data.table import DataSource
+from repro.exceptions import DatasetError
+
+
+@dataclass
+class PairSplit:
+    """A labelled collection of record pairs (one of train / valid / test)."""
+
+    name: str
+    pairs: list[RecordPair] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def labels(self) -> list[bool]:
+        """Ground-truth labels; raises if any pair is unlabelled."""
+        labels = []
+        for pair in self.pairs:
+            if pair.label is None:
+                raise DatasetError(f"pair {pair.pair_id} in split {self.name!r} has no label")
+            labels.append(pair.label)
+        return labels
+
+    def positives(self) -> list[RecordPair]:
+        """Pairs labelled as matches."""
+        return [pair for pair in self.pairs if pair.label]
+
+    def negatives(self) -> list[RecordPair]:
+        """Pairs labelled as non-matches."""
+        return [pair for pair in self.pairs if pair.label is False]
+
+    def match_ratio(self) -> float:
+        """Fraction of matching pairs in the split."""
+        if not self.pairs:
+            return 0.0
+        return len(self.positives()) / len(self.pairs)
+
+    def sample(self, count: int, rng: random.Random | None = None, balanced: bool = False) -> list[RecordPair]:
+        """Sample up to ``count`` pairs, optionally balancing match / non-match."""
+        rng = rng or random.Random(0)
+        if not balanced:
+            if count >= len(self.pairs):
+                return list(self.pairs)
+            return rng.sample(self.pairs, count)
+        positives = self.positives()
+        negatives = self.negatives()
+        half = max(count // 2, 1)
+        chosen = []
+        chosen.extend(positives if half >= len(positives) else rng.sample(positives, half))
+        chosen.extend(negatives if half >= len(negatives) else rng.sample(negatives, half))
+        rng.shuffle(chosen)
+        return chosen[:count]
+
+
+@dataclass
+class ERDataset:
+    """A complete entity-resolution benchmark dataset.
+
+    Attributes
+    ----------
+    name:
+        Short dataset code, e.g. ``"AB"`` for Abt-Buy.
+    left, right:
+        The two record sources ``U`` and ``V``.
+    train, valid, test:
+        Labelled pair splits used for model training and explanation
+        evaluation, respectively.
+    """
+
+    name: str
+    left: DataSource
+    right: DataSource
+    train: PairSplit
+    valid: PairSplit
+    test: PairSplit
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        for split in (self.train, self.valid, self.test):
+            for pair in split.pairs:
+                if pair.left.record_id not in self.left:
+                    raise DatasetError(
+                        f"pair references unknown left record {pair.left.record_id!r} in {self.name}"
+                    )
+                if pair.right.record_id not in self.right:
+                    raise DatasetError(
+                        f"pair references unknown right record {pair.right.record_id!r} in {self.name}"
+                    )
+
+    @property
+    def left_schema(self):
+        """Schema of the left source (``A_U``)."""
+        return self.left.schema
+
+    @property
+    def right_schema(self):
+        """Schema of the right source (``A_V``)."""
+        return self.right.schema
+
+    def all_pairs(self) -> list[RecordPair]:
+        """All labelled pairs across all splits."""
+        return list(self.train.pairs) + list(self.valid.pairs) + list(self.test.pairs)
+
+    def matches(self) -> list[RecordPair]:
+        """All matching pairs in the ground truth."""
+        return [pair for pair in self.all_pairs() if pair.label]
+
+    def statistics(self) -> dict[str, float]:
+        """Summary statistics in the spirit of Table 1 of the paper."""
+        return {
+            "matches": float(len(self.matches())),
+            "attributes_left": float(len(self.left_schema)),
+            "attributes_right": float(len(self.right_schema)),
+            "records_left": float(len(self.left)),
+            "records_right": float(len(self.right)),
+            "values_left": float(len({v for r in self.left for v in r.values.values() if v})),
+            "values_right": float(len({v for r in self.right for v in r.values.values() if v})),
+            "train_pairs": float(len(self.train)),
+            "valid_pairs": float(len(self.valid)),
+            "test_pairs": float(len(self.test)),
+        }
+
+    def subset(self, max_test_pairs: int, rng: random.Random | None = None) -> "ERDataset":
+        """Return a copy whose test split is down-sampled to ``max_test_pairs``.
+
+        The evaluation harness uses this to keep benchmark runtimes bounded
+        while preserving the train split (and hence model behaviour).
+        """
+        rng = rng or random.Random(7)
+        sampled = self.test.sample(max_test_pairs, rng=rng, balanced=True)
+        return ERDataset(
+            name=self.name,
+            left=self.left,
+            right=self.right,
+            train=self.train,
+            valid=self.valid,
+            test=PairSplit(name="test", pairs=sampled),
+            description=self.description,
+        )
+
+
+def split_pairs(
+    pairs: Sequence[RecordPair],
+    train_fraction: float = 0.6,
+    valid_fraction: float = 0.2,
+    rng: random.Random | None = None,
+    stratified: bool = True,
+) -> tuple[PairSplit, PairSplit, PairSplit]:
+    """Split labelled pairs into train / valid / test splits.
+
+    With ``stratified=True`` (default) the match / non-match ratio is preserved
+    across splits, which matters for the very imbalanced benchmark datasets
+    (e.g. BeerAdvo-RateBeer with 68 matches).
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise DatasetError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    if not 0.0 <= valid_fraction < 1.0 or train_fraction + valid_fraction >= 1.0:
+        raise DatasetError("train_fraction + valid_fraction must be < 1")
+    rng = rng or random.Random(13)
+
+    def _split_group(group: list[RecordPair]) -> tuple[list[RecordPair], list[RecordPair], list[RecordPair]]:
+        shuffled = list(group)
+        rng.shuffle(shuffled)
+        n_train = int(round(train_fraction * len(shuffled)))
+        n_valid = int(round(valid_fraction * len(shuffled)))
+        return (
+            shuffled[:n_train],
+            shuffled[n_train : n_train + n_valid],
+            shuffled[n_train + n_valid :],
+        )
+
+    if stratified:
+        positives = [pair for pair in pairs if pair.label]
+        negatives = [pair for pair in pairs if not pair.label]
+        train_p, valid_p, test_p = _split_group(positives)
+        train_n, valid_n, test_n = _split_group(negatives)
+        train, valid, test = train_p + train_n, valid_p + valid_n, test_p + test_n
+        rng.shuffle(train)
+        rng.shuffle(valid)
+        rng.shuffle(test)
+    else:
+        train, valid, test = _split_group(list(pairs))
+
+    return (
+        PairSplit(name="train", pairs=train),
+        PairSplit(name="valid", pairs=valid),
+        PairSplit(name="test", pairs=test),
+    )
+
+
+def build_dataset(
+    name: str,
+    left: DataSource,
+    right: DataSource,
+    labelled_pairs: Iterable[RecordPair],
+    train_fraction: float = 0.6,
+    valid_fraction: float = 0.2,
+    rng: random.Random | None = None,
+    description: str = "",
+) -> ERDataset:
+    """Convenience constructor: split labelled pairs and assemble a dataset."""
+    train, valid, test = split_pairs(
+        list(labelled_pairs), train_fraction=train_fraction, valid_fraction=valid_fraction, rng=rng
+    )
+    return ERDataset(
+        name=name,
+        left=left,
+        right=right,
+        train=train,
+        valid=valid,
+        test=test,
+        description=description,
+    )

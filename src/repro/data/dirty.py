@@ -1,0 +1,60 @@
+"""Dirty-variant construction: misplace attribute values into other columns.
+
+The DeepMatcher "Dirty" benchmark datasets (Dirty DBLP-ACM, Dirty
+Walmart-Amazon, ...) were built from the clean datasets by moving the value of
+a randomly chosen attribute into another attribute of the same record (leaving
+the original empty), which simulates messy extraction pipelines.  This module
+applies the same transformation to our synthetic sources.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.records import MISSING_VALUE, Record
+from repro.data.table import DataSource
+
+
+def make_dirty_record(record: Record, rng: random.Random, probability: float) -> Record:
+    """Possibly misplace one attribute value of ``record`` into another attribute.
+
+    With probability ``probability`` a random non-missing attribute value is
+    appended to another attribute's value and the original attribute is
+    emptied.  Otherwise the record is returned unchanged.
+    """
+    attribute_names = list(record.attribute_names())
+    if len(attribute_names) < 2 or rng.random() >= probability:
+        return record
+    candidates = [name for name in attribute_names if record.value(name) != MISSING_VALUE]
+    if not candidates:
+        return record
+    source_attribute = candidates[rng.randrange(len(candidates))]
+    target_choices = [name for name in attribute_names if name != source_attribute]
+    target_attribute = target_choices[rng.randrange(len(target_choices))]
+
+    moved_value = record.value(source_attribute)
+    target_value = record.value(target_attribute)
+    combined = f"{target_value} {moved_value}".strip()
+    dirty = record.replace_values(
+        {source_attribute: MISSING_VALUE, target_attribute: combined},
+        suffix="",
+    )
+    return dirty
+
+
+def make_dirty_source(source: DataSource, probability: float = 0.3, seed: int = 29) -> DataSource:
+    """Return a dirty copy of a data source (record ids preserved)."""
+    rng = random.Random(seed)
+    dirty_records = [make_dirty_record(record, rng, probability) for record in source]
+    return DataSource(name=source.name, schema=source.schema, records=dirty_records)
+
+
+def dirtiness_rate(clean: DataSource, dirty: DataSource) -> float:
+    """Fraction of records whose values changed between two aligned sources."""
+    if len(clean) != len(dirty):
+        raise ValueError("sources must align record-by-record to measure dirtiness")
+    changed = 0
+    for clean_record, dirty_record in zip(clean, dirty):
+        if dict(clean_record.values) != dict(dirty_record.values):
+            changed += 1
+    return changed / max(len(clean), 1)

@@ -1,0 +1,253 @@
+"""Core record model: schemas, records and record pairs.
+
+Entity resolution operates over two collections of structured records that may
+have different schemas (the paper's ``A_U`` and ``A_V``).  The classes here are
+deliberately small, immutable-by-convention containers so that every other
+subsystem (models, explainers, metrics) can share a single vocabulary:
+
+* :class:`Schema` — an ordered list of attribute names.
+* :class:`Record` — an identifier plus a mapping from attribute name to string
+  value (missing values are represented by the empty string, the library's
+  canonical ``NaN``).
+* :class:`RecordPair` — the unit of classification: a left record from ``U``
+  and a right record from ``V``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import SchemaError
+
+#: Canonical representation of a missing value throughout the library.
+MISSING_VALUE = ""
+
+
+def normalize_value(value: object) -> str:
+    """Normalise an arbitrary raw cell value into the library's string form.
+
+    ``None``, ``NaN`` and empty strings all become :data:`MISSING_VALUE`;
+    everything else is stringified and stripped of surrounding whitespace.
+    """
+    if value is None:
+        return MISSING_VALUE
+    if isinstance(value, float) and math.isnan(value):
+        return MISSING_VALUE
+    text = str(value).strip()
+    if text.lower() in {"nan", "none", "null"}:
+        return MISSING_VALUE
+    return text
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of attribute names for one data source.
+
+    Attributes are ordered because the lattice construction and the
+    attribute-level explanations report results positionally (the paper's
+    ``a_1 ... a_h``).
+    """
+
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise SchemaError("a schema needs at least one attribute")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"duplicate attribute names in schema: {self.attributes}")
+
+    @classmethod
+    def from_names(cls, names: Iterable[str]) -> "Schema":
+        """Build a schema from any iterable of attribute names."""
+        return cls(tuple(str(name) for name in names))
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.attributes
+
+    def index(self, name: str) -> int:
+        """Return the position of ``name``, raising ``SchemaError`` if absent."""
+        try:
+            return self.attributes.index(name)
+        except ValueError as exc:
+            raise SchemaError(f"attribute {name!r} not in schema {self.attributes}") from exc
+
+    def validate_subset(self, names: Iterable[str]) -> tuple[str, ...]:
+        """Validate that ``names`` all belong to the schema and return them as a tuple."""
+        names = tuple(names)
+        unknown = [name for name in names if name not in self.attributes]
+        if unknown:
+            raise SchemaError(f"attributes {unknown} not in schema {self.attributes}")
+        return names
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single structured entity description.
+
+    ``values`` maps attribute name to a (possibly empty) string value.  Records
+    compare equal by identifier *and* content, which makes perturbed copies
+    distinct from their originals even when they share the identifier prefix.
+    """
+
+    record_id: str
+    values: Mapping[str, str]
+    source: str = "U"
+
+    @classmethod
+    def from_raw(
+        cls,
+        record_id: str,
+        raw_values: Mapping[str, object],
+        schema: Schema,
+        source: str = "U",
+    ) -> "Record":
+        """Create a record from raw (possibly non-string) values for ``schema``.
+
+        Attributes missing from ``raw_values`` are filled with
+        :data:`MISSING_VALUE`; attributes not in the schema raise.
+        """
+        unknown = [name for name in raw_values if name not in schema]
+        if unknown:
+            raise SchemaError(f"values for unknown attributes {unknown}")
+        values = {name: normalize_value(raw_values.get(name)) for name in schema}
+        return cls(record_id=str(record_id), values=values, source=source)
+
+    def attribute_names(self) -> tuple[str, ...]:
+        """Return the attribute names present in this record, in insertion order."""
+        return tuple(self.values.keys())
+
+    def value(self, attribute: str) -> str:
+        """Return the value of ``attribute`` (empty string when missing)."""
+        if attribute not in self.values:
+            raise SchemaError(f"record {self.record_id!r} has no attribute {attribute!r}")
+        return self.values[attribute]
+
+    def tokens(self, attribute: str) -> list[str]:
+        """Whitespace tokens of an attribute value (empty list for missing)."""
+        return self.value(attribute).split()
+
+    def all_tokens(self) -> list[str]:
+        """Whitespace tokens over all attributes, in schema order."""
+        tokens: list[str] = []
+        for value in self.values.values():
+            tokens.extend(value.split())
+        return tokens
+
+    def is_missing(self, attribute: str) -> bool:
+        """True when the attribute value is the canonical missing value."""
+        return self.value(attribute) == MISSING_VALUE
+
+    def replace_values(self, replacements: Mapping[str, str], suffix: str = "'") -> "Record":
+        """Return a copy with ``replacements`` applied and a derived identifier.
+
+        This is the low-level operation behind the perturbation function
+        ``psi`` of the paper: values are overwritten for the given attributes
+        and the rest of the record is untouched.
+        """
+        unknown = [name for name in replacements if name not in self.values]
+        if unknown:
+            raise SchemaError(f"cannot replace unknown attributes {unknown}")
+        new_values = dict(self.values)
+        for name, value in replacements.items():
+            new_values[name] = normalize_value(value)
+        return Record(
+            record_id=f"{self.record_id}{suffix}",
+            values=new_values,
+            source=self.source,
+        )
+
+    def mask(self, attributes: Iterable[str]) -> "Record":
+        """Return a copy with the given attributes blanked out (masked)."""
+        return self.replace_values({name: MISSING_VALUE for name in attributes}, suffix="#masked")
+
+    def as_dict(self) -> dict[str, str]:
+        """Plain ``dict`` copy of the record values."""
+        return dict(self.values)
+
+    def as_text(self, separator: str = " ") -> str:
+        """Serialise all non-missing values into a single string."""
+        parts = [value for value in self.values.values() if value != MISSING_VALUE]
+        return separator.join(parts)
+
+    def __hash__(self) -> int:
+        return hash((self.record_id, tuple(sorted(self.values.items())), self.source))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return (
+            self.record_id == other.record_id
+            and dict(self.values) == dict(other.values)
+            and self.source == other.source
+        )
+
+
+@dataclass(frozen=True)
+class RecordPair:
+    """The classification unit for ER: a left record and a right record.
+
+    ``label`` is the optional ground-truth (True = match); predictions never
+    read it, only the evaluation harness does.
+    """
+
+    left: Record
+    right: Record
+    label: bool | None = None
+
+    @property
+    def pair_id(self) -> tuple[str, str]:
+        """Stable identifier for the pair."""
+        return (self.left.record_id, self.right.record_id)
+
+    def with_left(self, left: Record) -> "RecordPair":
+        """Return the pair with the left record swapped (label preserved)."""
+        return RecordPair(left=left, right=self.right, label=self.label)
+
+    def with_right(self, right: Record) -> "RecordPair":
+        """Return the pair with the right record swapped (label preserved)."""
+        return RecordPair(left=self.left, right=right, label=self.label)
+
+    def with_label(self, label: bool | None) -> "RecordPair":
+        """Return the pair with a different ground-truth label."""
+        return RecordPair(left=self.left, right=self.right, label=label)
+
+    def attribute_names(self, prefix_left: str = "left_", prefix_right: str = "right_") -> tuple[str, ...]:
+        """Names of all attributes in the pair, with side prefixes.
+
+        The prefixed view is what saliency explanations are expressed over: the
+        paper writes ``Name_Abt`` / ``Name_Buy``; we write ``left_Name`` /
+        ``right_Name``.
+        """
+        left_names = tuple(f"{prefix_left}{name}" for name in self.left.attribute_names())
+        right_names = tuple(f"{prefix_right}{name}" for name in self.right.attribute_names())
+        return left_names + right_names
+
+    def as_flat_dict(self, prefix_left: str = "left_", prefix_right: str = "right_") -> dict[str, str]:
+        """Flatten the pair into a single mapping with side-prefixed keys."""
+        flat = {f"{prefix_left}{name}": value for name, value in self.left.values.items()}
+        flat.update({f"{prefix_right}{name}": value for name, value in self.right.values.items()})
+        return flat
+
+
+def pairs_from_ids(
+    left_records: Mapping[str, Record],
+    right_records: Mapping[str, Record],
+    id_pairs: Sequence[tuple[str, str, bool]],
+) -> list[RecordPair]:
+    """Materialise :class:`RecordPair` objects from id-level ground truth rows."""
+    pairs = []
+    for left_id, right_id, label in id_pairs:
+        if left_id not in left_records:
+            raise SchemaError(f"unknown left record id {left_id!r}")
+        if right_id not in right_records:
+            raise SchemaError(f"unknown right record id {right_id!r}")
+        pairs.append(RecordPair(left_records[left_id], right_records[right_id], bool(label)))
+    return pairs

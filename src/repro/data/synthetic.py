@@ -1,0 +1,462 @@
+"""Synthetic benchmark generators standing in for the DeepMatcher datasets.
+
+The paper evaluates on twelve public benchmark datasets (Table 1) that cannot
+be downloaded in this offline environment.  This module builds laptop-scale
+synthetic datasets with the same *structural* characteristics CERTA's
+evaluation depends on:
+
+* two sources with (possibly different) schemas of 3-8 attributes;
+* matching record pairs that describe the same underlying entity with
+  source-specific formatting, token noise, truncation and missing values;
+* hard non-matching pairs that still share vocabulary (same brand / venue);
+* "Dirty" variants where attribute values are misplaced into the wrong column,
+  mirroring the Magellan dirty benchmark construction.
+
+Generation is fully deterministic given a seed, so experiments and tests are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.data.blocking import candidate_pairs
+from repro.data.dataset import ERDataset, build_dataset
+from repro.data.records import MISSING_VALUE, Record, Schema
+from repro.data.table import DataSource
+from repro.exceptions import DatasetError
+
+# ---------------------------------------------------------------------------
+# Domain vocabularies
+# ---------------------------------------------------------------------------
+
+PRODUCT_BRANDS = [
+    "sony", "samsung", "panasonic", "canon", "nikon", "philips", "toshiba", "lg",
+    "apple", "logitech", "bose", "jvc", "sharp", "denon", "yamaha", "altec", "garmin",
+    "kodak", "olympus", "sandisk", "netgear", "linksys", "epson", "brother", "hp",
+]
+
+PRODUCT_TYPES = [
+    "lcd tv", "home theater system", "digital camera", "dvd player", "speaker system",
+    "portable audio system", "wireless router", "laser printer", "headphones",
+    "camcorder", "blu-ray player", "memory card", "gps navigator", "micro system",
+    "flat panel hdtv", "subwoofer", "mp3 player", "photo printer", "av receiver",
+    "soundbar",
+]
+
+PRODUCT_QUALIFIERS = [
+    "black", "silver", "white", "portable", "wireless", "digital", "compact", "slim",
+    "professional", "premium", "hd", "1080p", "bluetooth", "stereo", "dual", "mini",
+    "widescreen", "progressive scan", "energy efficient", "refurbished",
+]
+
+PERSON_FIRST = [
+    "john", "maria", "wei", "ahmed", "sofia", "luca", "emma", "raj", "chen", "ana",
+    "peter", "olga", "yuki", "david", "laura", "ivan", "nina", "omar", "grace", "paul",
+]
+
+PERSON_LAST = [
+    "smith", "garcia", "zhang", "rossi", "kumar", "tanaka", "mueller", "silva",
+    "johnson", "lee", "brown", "ali", "novak", "kim", "costa", "dubois", "ivanov",
+    "hansen", "moreau", "weber",
+]
+
+PAPER_TOPICS = [
+    "query optimization", "entity resolution", "data integration", "stream processing",
+    "graph mining", "transaction management", "approximate query answering",
+    "schema matching", "data cleaning", "index structures", "distributed joins",
+    "crowdsourcing", "provenance tracking", "similarity search", "view maintenance",
+    "spatial databases", "text analytics", "workload forecasting", "data pricing",
+    "privacy preservation",
+]
+
+PAPER_VENUES = ["sigmod", "vldb", "icde", "edbt", "cikm", "kdd", "www", "pods", "tods", "pvldb"]
+
+RESTAURANT_NAMES = [
+    "golden dragon", "la piazza", "blue bayou", "spice garden", "the grill house",
+    "ocean breeze", "casa bonita", "green olive", "red lantern", "maple diner",
+    "sunset bistro", "royal tandoor", "pasta fresca", "smoky joes", "harbor view",
+    "the copper pot", "little havana", "bamboo garden", "rustic table", "cafe lumiere",
+]
+
+CITIES = [
+    "new york", "los angeles", "chicago", "san francisco", "boston", "seattle",
+    "austin", "denver", "miami", "atlanta", "portland", "philadelphia",
+]
+
+CUISINES = [
+    "italian", "chinese", "mexican", "american", "french", "indian", "thai",
+    "japanese", "mediterranean", "bbq", "seafood", "vegetarian",
+]
+
+SONG_WORDS = [
+    "midnight", "river", "golden", "echoes", "summer", "neon", "wild", "gravity",
+    "horizon", "silver", "thunder", "velvet", "paper", "crystal", "shadow", "ember",
+    "distant", "electric", "lonely", "rising",
+]
+
+GENRES = ["pop", "rock", "jazz", "electronic", "country", "hip-hop", "folk", "classical"]
+
+BEER_STYLES = [
+    "american ipa", "imperial stout", "pale ale", "pilsner", "porter", "witbier",
+    "amber lager", "saison", "hefeweizen", "brown ale", "double ipa", "sour ale",
+]
+
+BREWERY_WORDS = [
+    "stone", "river", "anchor", "mountain", "harbor", "oak", "copper", "north",
+    "valley", "iron", "golden", "wild",
+]
+
+
+# ---------------------------------------------------------------------------
+# Entity generators (one canonical record per real-world entity)
+# ---------------------------------------------------------------------------
+
+
+def _sample(rng: random.Random, values: Sequence[str]) -> str:
+    return values[rng.randrange(len(values))]
+
+
+def _product_entity(rng: random.Random, index: int) -> dict[str, str]:
+    brand = _sample(rng, PRODUCT_BRANDS)
+    kind = _sample(rng, PRODUCT_TYPES)
+    model = f"{_sample(rng, 'abcdefghjkmnpqrstvwxz')}{rng.randrange(10, 9999)}"
+    qualifiers = " ".join(rng.sample(PRODUCT_QUALIFIERS, k=rng.randrange(1, 4)))
+    price = round(rng.uniform(15, 2500), 2)
+    return {
+        "name": f"{brand} {kind} {model}",
+        "description": f"{brand} {model} {kind} {qualifiers}",
+        "manufacturer": brand,
+        "price": f"{price}",
+        "category": kind,
+        "model": model,
+        "qualifiers": qualifiers,
+    }
+
+
+def _paper_entity(rng: random.Random, index: int) -> dict[str, str]:
+    topic = _sample(rng, PAPER_TOPICS)
+    style = _sample(rng, ["efficient", "scalable", "adaptive", "robust", "learned", "incremental"])
+    title = f"{style} {topic} in large scale systems"
+    author_count = rng.randrange(2, 5)
+    authors = ", ".join(
+        f"{_sample(rng, PERSON_FIRST)} {_sample(rng, PERSON_LAST)}" for _ in range(author_count)
+    )
+    venue = _sample(rng, PAPER_VENUES)
+    year = str(rng.randrange(1995, 2021))
+    return {
+        "title": title,
+        "authors": authors,
+        "venue": venue,
+        "year": year,
+    }
+
+
+def _restaurant_entity(rng: random.Random, index: int) -> dict[str, str]:
+    name = _sample(rng, RESTAURANT_NAMES)
+    city = _sample(rng, CITIES)
+    street_number = rng.randrange(10, 999)
+    street = f"{street_number} {_sample(rng, PERSON_LAST)} st"
+    phone = f"{rng.randrange(200, 999)}-{rng.randrange(200, 999)}-{rng.randrange(1000, 9999)}"
+    cuisine = _sample(rng, CUISINES)
+    cls = str(rng.randrange(0, 500))
+    return {
+        "name": f"{name} {index % 7}",
+        "addr": street,
+        "city": city,
+        "phone": phone,
+        "type": cuisine,
+        "class": cls,
+    }
+
+
+def _song_entity(rng: random.Random, index: int) -> dict[str, str]:
+    words = rng.sample(SONG_WORDS, k=2)
+    song = " ".join(words)
+    artist = f"{_sample(rng, PERSON_FIRST)} {_sample(rng, PERSON_LAST)}"
+    album = f"{_sample(rng, SONG_WORDS)} {_sample(rng, ['sessions', 'nights', 'tapes', 'stories'])}"
+    genre = _sample(rng, GENRES)
+    price = f"{rng.uniform(0.69, 1.29):.2f}"
+    copyright_line = f"{rng.randrange(1998, 2021)} {_sample(rng, PRODUCT_BRANDS)} records"
+    time = f"{rng.randrange(2, 6)}:{rng.randrange(10, 59)}"
+    released = f"{_sample(rng, ['january', 'march', 'june', 'september', 'november'])} {rng.randrange(1, 28)}, {rng.randrange(1998, 2021)}"
+    return {
+        "song_name": song,
+        "artist_name": artist,
+        "album_name": album,
+        "genre": genre,
+        "price": price,
+        "copyright": copyright_line,
+        "time": time,
+        "released": released,
+    }
+
+
+def _beer_entity(rng: random.Random, index: int) -> dict[str, str]:
+    brewery = f"{_sample(rng, BREWERY_WORDS)} {_sample(rng, ['brewing company', 'brewery', 'ales', 'beer co'])}"
+    style = _sample(rng, BEER_STYLES)
+    name = f"{_sample(rng, SONG_WORDS)} {_sample(rng, ['haze', 'session', 'reserve', 'batch', 'trail'])}"
+    abv = f"{rng.uniform(3.5, 12.0):.1f} %"
+    return {
+        "beer_name": f"{brewery.split()[0]} {name}",
+        "brew_factory_name": brewery,
+        "style": style,
+        "abv": abv,
+    }
+
+
+ENTITY_GENERATORS: dict[str, Callable[[random.Random, int], dict[str, str]]] = {
+    "product": _product_entity,
+    "bibliographic": _paper_entity,
+    "restaurant": _restaurant_entity,
+    "music": _song_entity,
+    "beer": _beer_entity,
+}
+
+
+# ---------------------------------------------------------------------------
+# View rendering: turn a canonical entity into a source-specific record
+# ---------------------------------------------------------------------------
+
+
+def _perturb_text(value: str, rng: random.Random, noise: float) -> str:
+    """Apply source-specific formatting noise to one attribute value."""
+    tokens = value.split()
+    if not tokens:
+        return value
+    result: list[str] = []
+    for token in tokens:
+        roll = rng.random()
+        if roll < noise * 0.25:
+            continue  # drop token
+        if roll < noise * 0.4 and len(token) > 4:
+            result.append(token[: max(3, len(token) - 2)])  # truncate token
+            continue
+        result.append(token)
+    if rng.random() < noise * 0.5:
+        result.append(_sample(rng, PRODUCT_QUALIFIERS))
+    if not result:
+        result = [tokens[0]]
+    return " ".join(result)
+
+
+@dataclass(frozen=True)
+class ViewSpec:
+    """How one source renders canonical entity fields into its own schema.
+
+    ``attribute_map`` maps a source attribute name to the list of canonical
+    fields whose values are concatenated to form it; this is how the two
+    sources end up with different schemas over the same entities.
+    """
+
+    source_tag: str
+    attribute_map: dict[str, tuple[str, ...]]
+    noise: float = 0.15
+    missing_rate: float = 0.05
+
+    @property
+    def schema(self) -> Schema:
+        return Schema.from_names(self.attribute_map.keys())
+
+
+def render_view(
+    entity: dict[str, str],
+    spec: ViewSpec,
+    record_id: str,
+    rng: random.Random,
+) -> Record:
+    """Render one canonical entity into one source-specific record."""
+    values: dict[str, str] = {}
+    for attribute, fields in spec.attribute_map.items():
+        parts = [entity.get(name, "") for name in fields]
+        text = " ".join(part for part in parts if part)
+        if rng.random() < spec.missing_rate:
+            values[attribute] = MISSING_VALUE
+        else:
+            values[attribute] = _perturb_text(text, rng, spec.noise)
+    return Record.from_raw(record_id, values, spec.schema, source=spec.source_tag)
+
+
+# ---------------------------------------------------------------------------
+# Dataset-level configuration and generation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Configuration of one synthetic ER benchmark."""
+
+    name: str
+    domain: str
+    left_view: ViewSpec
+    right_view: ViewSpec
+    entities: int = 160
+    shared_fraction: float = 0.6
+    extra_left: int = 40
+    extra_right: int = 60
+    negatives_per_match: int = 3
+    seed: int = 11
+    dirty: bool = False
+    dirty_probability: float = 0.3
+    description: str = ""
+
+    def scaled(self, factor: float) -> "SyntheticConfig":
+        """Return a copy with entity counts scaled by ``factor`` (at least 20)."""
+        return replace(
+            self,
+            entities=max(int(self.entities * factor), 20),
+            extra_left=max(int(self.extra_left * factor), 5),
+            extra_right=max(int(self.extra_right * factor), 5),
+        )
+
+
+def generate_dataset(config: SyntheticConfig) -> ERDataset:
+    """Generate a complete :class:`ERDataset` from a synthetic configuration."""
+    if config.domain not in ENTITY_GENERATORS:
+        raise DatasetError(
+            f"unknown synthetic domain {config.domain!r}; available: {sorted(ENTITY_GENERATORS)}"
+        )
+    rng = random.Random(config.seed)
+    generator = ENTITY_GENERATORS[config.domain]
+
+    shared_count = int(config.entities * config.shared_fraction)
+    entities = [generator(rng, index) for index in range(config.entities)]
+
+    left_records: list[Record] = []
+    right_records: list[Record] = []
+    matches: list[tuple[str, str]] = []
+
+    # Shared entities appear in both sources and define the ground-truth matches.
+    for index in range(shared_count):
+        left_id = f"L{index}"
+        right_id = f"R{index}"
+        left_records.append(render_view(entities[index], config.left_view, left_id, rng))
+        right_records.append(render_view(entities[index], config.right_view, right_id, rng))
+        matches.append((left_id, right_id))
+
+    # Remaining entities appear in only one of the two sources.
+    only_left = entities[shared_count :]
+    for offset, entity in enumerate(only_left[: config.extra_left]):
+        left_id = f"L{shared_count + offset}"
+        left_records.append(render_view(entity, config.left_view, left_id, rng))
+    for offset, entity in enumerate(only_left[config.extra_left : config.extra_left + config.extra_right]):
+        right_id = f"R{shared_count + offset}"
+        right_records.append(render_view(entity, config.right_view, right_id, rng))
+
+    # Top up the right source with fresh entities if the pool ran dry.
+    produced_right = len(right_records)
+    wanted_right = shared_count + config.extra_right
+    for offset in range(wanted_right - produced_right):
+        entity = generator(rng, config.entities + offset)
+        right_id = f"R{produced_right + offset}"
+        right_records.append(render_view(entity, config.right_view, right_id, rng))
+
+    left = DataSource(name=f"{config.name}-left", schema=config.left_view.schema, records=left_records)
+    right = DataSource(name=f"{config.name}-right", schema=config.right_view.schema, records=right_records)
+
+    if config.dirty:
+        from repro.data.dirty import make_dirty_source
+
+        left = make_dirty_source(left, probability=config.dirty_probability, seed=config.seed + 1)
+        right = make_dirty_source(right, probability=config.dirty_probability, seed=config.seed + 2)
+
+    pairs = candidate_pairs(left, right, matches, negatives_per_match=config.negatives_per_match)
+    return build_dataset(
+        name=config.name,
+        left=left,
+        right=right,
+        labelled_pairs=pairs,
+        rng=random.Random(config.seed + 3),
+        description=config.description,
+    )
+
+
+# Convenience view specs per domain, used by the registry ------------------------------
+
+
+def product_views(noise_left: float = 0.25, noise_right: float = 0.4, attributes: int = 3) -> tuple[ViewSpec, ViewSpec]:
+    """Product-domain views (Abt-Buy / Amazon-Google / Walmart-Amazon shapes)."""
+    if attributes == 3:
+        left_map = {"name": ("name",), "description": ("description", "qualifiers"), "price": ("price",)}
+        right_map = {"name": ("name", "model"), "description": ("description",), "price": ("price",)}
+    elif attributes == 5:
+        left_map = {
+            "title": ("name",),
+            "category": ("category",),
+            "brand": ("manufacturer",),
+            "modelno": ("model",),
+            "price": ("price",),
+        }
+        right_map = {
+            "title": ("name", "qualifiers"),
+            "category": ("category",),
+            "brand": ("manufacturer",),
+            "modelno": ("model",),
+            "price": ("price",),
+        }
+    else:
+        raise DatasetError(f"unsupported product schema width {attributes}")
+    return (
+        ViewSpec(source_tag="U", attribute_map=left_map, noise=noise_left),
+        ViewSpec(source_tag="V", attribute_map=right_map, noise=noise_right),
+    )
+
+
+def bibliographic_views(noise_left: float = 0.15, noise_right: float = 0.3) -> tuple[ViewSpec, ViewSpec]:
+    """Bibliographic views (DBLP-ACM / DBLP-Scholar shapes, 4 attributes)."""
+    left_map = {"title": ("title",), "authors": ("authors",), "venue": ("venue",), "year": ("year",)}
+    right_map = {"title": ("title",), "authors": ("authors",), "venue": ("venue",), "year": ("year",)}
+    return (
+        ViewSpec(source_tag="U", attribute_map=left_map, noise=noise_left, missing_rate=0.03),
+        ViewSpec(source_tag="V", attribute_map=right_map, noise=noise_right, missing_rate=0.08),
+    )
+
+
+def restaurant_views() -> tuple[ViewSpec, ViewSpec]:
+    """Restaurant views (Fodors-Zagats shape, 6 attributes)."""
+    attribute_map = {
+        "name": ("name",),
+        "addr": ("addr",),
+        "city": ("city",),
+        "phone": ("phone",),
+        "type": ("type",),
+        "class": ("class",),
+    }
+    return (
+        ViewSpec(source_tag="U", attribute_map=dict(attribute_map), noise=0.15, missing_rate=0.04),
+        ViewSpec(source_tag="V", attribute_map=dict(attribute_map), noise=0.3, missing_rate=0.08),
+    )
+
+
+def music_views() -> tuple[ViewSpec, ViewSpec]:
+    """Music views (iTunes-Amazon shape, 8 attributes)."""
+    attribute_map = {
+        "song_name": ("song_name",),
+        "artist_name": ("artist_name",),
+        "album_name": ("album_name",),
+        "genre": ("genre",),
+        "price": ("price",),
+        "copyright": ("copyright",),
+        "time": ("time",),
+        "released": ("released",),
+    }
+    return (
+        ViewSpec(source_tag="U", attribute_map=dict(attribute_map), noise=0.18, missing_rate=0.08),
+        ViewSpec(source_tag="V", attribute_map=dict(attribute_map), noise=0.35, missing_rate=0.12),
+    )
+
+
+def beer_views() -> tuple[ViewSpec, ViewSpec]:
+    """Beer views (BeerAdvo-RateBeer shape, 4 attributes)."""
+    attribute_map = {
+        "beer_name": ("beer_name",),
+        "brew_factory_name": ("brew_factory_name",),
+        "style": ("style",),
+        "abv": ("abv",),
+    }
+    return (
+        ViewSpec(source_tag="U", attribute_map=dict(attribute_map), noise=0.15, missing_rate=0.05),
+        ViewSpec(source_tag="V", attribute_map=dict(attribute_map), noise=0.32, missing_rate=0.1),
+    )

@@ -1,0 +1,146 @@
+"""Data sources: ordered collections of records sharing one schema.
+
+A :class:`DataSource` corresponds to one of the two tables (``U`` or ``V``)
+that an ER task compares.  CERTA's open-triangle search iterates over a data
+source to find support records, so the class offers fast lookup by id and
+simple sampling utilities in addition to plain iteration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.data.records import Record, Schema
+from repro.exceptions import DatasetError, SchemaError
+
+
+@dataclass
+class DataSource:
+    """A named table of records with a fixed schema."""
+
+    name: str
+    schema: Schema
+    records: list[Record] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_id: dict[str, Record] = {}
+        for record in self.records:
+            self._validate(record)
+            self._by_id[record.record_id] = record
+        if len(self._by_id) != len(self.records):
+            raise DatasetError(f"duplicate record ids in data source {self.name!r}")
+
+    def _validate(self, record: Record) -> None:
+        if tuple(record.attribute_names()) != self.schema.attributes:
+            raise SchemaError(
+                f"record {record.record_id!r} attributes {record.attribute_names()} "
+                f"do not match schema {self.schema.attributes}"
+            )
+
+    def add(self, record: Record) -> None:
+        """Append a record, validating schema and id uniqueness."""
+        self._validate(record)
+        if record.record_id in self._by_id:
+            raise DatasetError(f"duplicate record id {record.record_id!r} in {self.name!r}")
+        self.records.append(record)
+        self._by_id[record.record_id] = record
+
+    def get(self, record_id: str) -> Record:
+        """Return the record with ``record_id`` or raise ``DatasetError``."""
+        try:
+            return self._by_id[record_id]
+        except KeyError as exc:
+            raise DatasetError(f"record id {record_id!r} not in data source {self.name!r}") from exc
+
+    def __contains__(self, record_id: object) -> bool:
+        return record_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def ids(self) -> list[str]:
+        """All record identifiers, in insertion order."""
+        return [record.record_id for record in self.records]
+
+    def sample(self, count: int, rng: random.Random | None = None, exclude: Iterable[str] = ()) -> list[Record]:
+        """Sample up to ``count`` records uniformly at random without replacement.
+
+        Records whose id is in ``exclude`` are never returned.  Returns fewer
+        than ``count`` records when the source is too small.
+        """
+        rng = rng or random.Random(0)
+        excluded = set(exclude)
+        candidates = [record for record in self.records if record.record_id not in excluded]
+        if count >= len(candidates):
+            return list(candidates)
+        return rng.sample(candidates, count)
+
+    def filter(self, predicate: Callable[[Record], bool]) -> "DataSource":
+        """Return a new data source keeping only records that satisfy ``predicate``."""
+        kept = [record for record in self.records if predicate(record)]
+        return DataSource(name=self.name, schema=self.schema, records=kept)
+
+    def vocabulary(self, attribute: str | None = None) -> set[str]:
+        """Distinct whitespace tokens across the source (optionally one attribute)."""
+        tokens: set[str] = set()
+        for record in self.records:
+            if attribute is None:
+                tokens.update(record.all_tokens())
+            else:
+                tokens.update(record.tokens(attribute))
+        return tokens
+
+    def distinct_values(self, attribute: str) -> list[str]:
+        """Distinct non-missing values of one attribute, in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            value = record.value(attribute)
+            if value:
+                seen.setdefault(value, None)
+        return list(seen)
+
+    def value_statistics(self) -> dict[str, dict[str, float]]:
+        """Per-attribute statistics: distinct values, missing rate, mean token length."""
+        stats: dict[str, dict[str, float]] = {}
+        total = max(len(self.records), 1)
+        for attribute in self.schema:
+            values = [record.value(attribute) for record in self.records]
+            non_missing = [value for value in values if value]
+            token_lengths = [len(value.split()) for value in non_missing]
+            stats[attribute] = {
+                "distinct": float(len(set(non_missing))),
+                "missing_rate": 1.0 - len(non_missing) / total,
+                "mean_tokens": (sum(token_lengths) / len(token_lengths)) if token_lengths else 0.0,
+            }
+        return stats
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        schema: Schema,
+        rows: Sequence[dict[str, object]],
+        id_attribute: str | None = None,
+        source_tag: str | None = None,
+    ) -> "DataSource":
+        """Build a data source from raw row dictionaries.
+
+        When ``id_attribute`` is given the id is read from each row (and the
+        attribute removed from the schema values); otherwise sequential ids
+        ``<name>-<i>`` are generated.
+        """
+        source_tag = source_tag or name
+        records = []
+        for index, row in enumerate(rows):
+            row = dict(row)
+            if id_attribute is not None:
+                record_id = str(row.pop(id_attribute))
+            else:
+                record_id = f"{name}-{index}"
+            records.append(Record.from_raw(record_id, row, schema, source=source_tag))
+        return cls(name=name, schema=schema, records=records)

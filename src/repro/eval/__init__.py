@@ -1,0 +1,72 @@
+"""Evaluation metrics and the experiment harness reproducing Section 5."""
+
+from repro.eval.counterfactual_metrics import (
+    average_metrics,
+    diversity,
+    example_distance,
+    example_proximity,
+    example_sparsity,
+    proximity,
+    sparsity,
+    validity,
+)
+from repro.eval.harness import (
+    COUNTERFACTUAL_METHODS,
+    ExperimentHarness,
+    HarnessConfig,
+    SALIENCY_METHODS,
+    default_config,
+    full_config,
+)
+from repro.eval.logistic import RidgeRegressor, cross_validated_mae
+from repro.eval.masking import (
+    attributes_to_mask,
+    mask_attributes,
+    mask_single_attribute,
+    mask_top_fraction,
+)
+from repro.eval.reporting import best_method_per_group, format_table, pivot_metric, win_counts, write_csv
+from repro.eval.saliency_metrics import (
+    FAITHFULNESS_THRESHOLDS,
+    FaithfulnessResult,
+    actual_saliency,
+    aggregate_at_k,
+    confidence_indication,
+    faithfulness,
+    saliency_alignment,
+)
+
+__all__ = [
+    "COUNTERFACTUAL_METHODS",
+    "ExperimentHarness",
+    "FAITHFULNESS_THRESHOLDS",
+    "FaithfulnessResult",
+    "HarnessConfig",
+    "RidgeRegressor",
+    "SALIENCY_METHODS",
+    "actual_saliency",
+    "aggregate_at_k",
+    "attributes_to_mask",
+    "average_metrics",
+    "best_method_per_group",
+    "confidence_indication",
+    "cross_validated_mae",
+    "default_config",
+    "diversity",
+    "example_distance",
+    "example_proximity",
+    "example_sparsity",
+    "faithfulness",
+    "format_table",
+    "full_config",
+    "mask_attributes",
+    "mask_single_attribute",
+    "mask_top_fraction",
+    "pivot_metric",
+    "proximity",
+    "saliency_alignment",
+    "sparsity",
+    "validity",
+    "win_counts",
+    "write_csv",
+]

@@ -1,0 +1,122 @@
+"""Quantitative metrics for counterfactual explanations (Tables 4-6, Figure 10).
+
+Following Mothilal et al. (DiCE) as adapted by the paper:
+
+* **Proximity** — how similar a counterfactual is to the original input
+  (attribute-wise similarity, averaged over attributes and examples); higher
+  is better.
+* **Sparsity** — fraction of attributes left unchanged; higher is better.
+* **Diversity** — mean attribute-wise distance between pairs of counterfactual
+  examples; higher is better.
+* **Validity** — fraction of proposed examples that actually flip the
+  prediction (reported for completeness; CERTA is valid by construction).
+* **Average count** — the average number of generated examples (Figure 10).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.records import RecordPair
+from repro.exceptions import EvaluationError
+from repro.explain.base import CounterfactualExample, CounterfactualExplanation
+from repro.text.similarity import attribute_similarity
+
+
+def _flat_values(pair: RecordPair) -> dict[str, str]:
+    return pair.as_flat_dict()
+
+
+def example_proximity(example: CounterfactualExample, original: RecordPair) -> float:
+    """Mean attribute-wise similarity between one example and the original pair."""
+    original_values = _flat_values(original)
+    example_values = _flat_values(example.pair)
+    names = list(original_values)
+    if not names:
+        return 0.0
+    total = sum(
+        attribute_similarity(original_values[name], example_values.get(name, "")) for name in names
+    )
+    return total / len(names)
+
+
+def example_sparsity(example: CounterfactualExample, original: RecordPair) -> float:
+    """Fraction of attributes left unchanged by one example."""
+    original_values = _flat_values(original)
+    example_values = _flat_values(example.pair)
+    names = list(original_values)
+    if not names:
+        return 0.0
+    unchanged = sum(1 for name in names if original_values[name] == example_values.get(name))
+    return unchanged / len(names)
+
+
+def example_distance(first: CounterfactualExample, second: CounterfactualExample) -> float:
+    """Attribute-wise distance between two examples (1 - similarity, averaged)."""
+    first_values = _flat_values(first.pair)
+    second_values = _flat_values(second.pair)
+    names = set(first_values) | set(second_values)
+    if not names:
+        return 0.0
+    total = sum(
+        1.0 - attribute_similarity(first_values.get(name, ""), second_values.get(name, ""))
+        for name in names
+    )
+    return total / len(names)
+
+
+def proximity(explanation: CounterfactualExplanation) -> float:
+    """Average proximity of the explanation's examples (0 when it has none)."""
+    if not explanation.examples:
+        return 0.0
+    return float(
+        np.mean([example_proximity(example, explanation.pair) for example in explanation.examples])
+    )
+
+
+def sparsity(explanation: CounterfactualExplanation) -> float:
+    """Average sparsity of the explanation's examples (0 when it has none)."""
+    if not explanation.examples:
+        return 0.0
+    return float(
+        np.mean([example_sparsity(example, explanation.pair) for example in explanation.examples])
+    )
+
+
+def diversity(explanation: CounterfactualExplanation) -> float:
+    """Mean pairwise distance between examples (0 with fewer than two examples)."""
+    if len(explanation.examples) < 2:
+        return 0.0
+    distances = [
+        example_distance(first, second)
+        for first, second in combinations(explanation.examples, 2)
+    ]
+    return float(np.mean(distances))
+
+
+def validity(explanation: CounterfactualExplanation) -> float:
+    """Fraction of examples that actually flip the prediction (1.0 when empty)."""
+    if not explanation.examples:
+        return 0.0
+    return len(explanation.valid_examples()) / len(explanation.examples)
+
+
+def average_metrics(explanations: Sequence[CounterfactualExplanation]) -> dict[str, float]:
+    """Aggregate proximity / sparsity / diversity / validity / count over many explanations.
+
+    Explanations with zero examples contribute zero to proximity, sparsity and
+    diversity (they simply failed to explain), matching how the paper's
+    averages penalise methods that cannot produce counterfactuals.
+    """
+    if not explanations:
+        raise EvaluationError("average_metrics needs at least one explanation")
+    return {
+        "proximity": float(np.mean([proximity(explanation) for explanation in explanations])),
+        "sparsity": float(np.mean([sparsity(explanation) for explanation in explanations])),
+        "diversity": float(np.mean([diversity(explanation) for explanation in explanations])),
+        "validity": float(np.mean([validity(explanation) for explanation in explanations])),
+        "count": float(np.mean([explanation.count() for explanation in explanations])),
+    }

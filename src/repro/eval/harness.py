@@ -1,0 +1,469 @@
+"""Experiment harness: dataset x model x explainer sweeps for every table/figure.
+
+The benchmark scripts under ``benchmarks/`` are thin wrappers around this
+module.  Each public method reproduces one experiment of the paper's Section 5
+and returns plain dictionaries (one per table row), so results can be printed,
+asserted on in tests, or serialised.
+
+Runtime control: the default configuration uses a subset of datasets, scaled-
+down synthetic sources, fast-trained matchers and a reduced number of open
+triangles so a full sweep finishes in minutes on a laptop.  Set the environment
+variable ``REPRO_FULL=1`` (or use :func:`full_config`) to run the complete
+12-dataset configuration of the paper.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.certa.explainer import CertaExplainer, CertaExplanation
+from repro.certa.lattice import monotonicity_violations
+from repro.certa.perturbation import perturbed_pair
+from repro.certa.triangles import find_open_triangles
+from repro.data.dataset import ERDataset
+from repro.data.records import RecordPair
+from repro.data.registry import BENCHMARK_CODES, load_benchmark
+from repro.eval.counterfactual_metrics import average_metrics
+from repro.eval.saliency_metrics import (
+    actual_saliency,
+    aggregate_at_k,
+    confidence_indication,
+    faithfulness,
+    saliency_alignment,
+)
+from repro.exceptions import EvaluationError, ExplanationError
+from repro.explain.base import CounterfactualExplainer, SaliencyExplainer
+from repro.explain.dice import DiceExplainer
+from repro.explain.landmark import LandmarkExplainer
+from repro.explain.mojito import MojitoExplainer
+from repro.explain.sedc import LimeCExplainer, ShapCExplainer
+from repro.explain.shap import ShapExplainer
+from repro.models.base import MATCH_THRESHOLD, ERModel
+from repro.models.training import ModelCache, TrainedModel
+
+#: Saliency baselines of Table 2/3, in the paper's column order.
+SALIENCY_METHODS = ("certa", "landmark", "mojito", "shap")
+#: Counterfactual baselines of Tables 4-6 and Figure 10.
+COUNTERFACTUAL_METHODS = ("certa", "dice", "shap-c", "lime-c")
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Knobs controlling the size (and therefore runtime) of every experiment."""
+
+    datasets: tuple[str, ...] = ("AB", "BA", "FZ", "IA")
+    models: tuple[str, ...] = ("deeper", "deepmatcher", "ditto")
+    dataset_scale: float = 0.5
+    pairs_per_dataset: int = 6
+    num_triangles: int = 20
+    lime_samples: int = 48
+    shap_coalitions: int = 48
+    dice_candidates: int = 60
+    fast_models: bool = True
+    seed: int = 7
+
+    def with_overrides(self, **overrides) -> "HarnessConfig":
+        """Return a copy with some fields replaced."""
+        return replace(self, **overrides)
+
+
+def full_config() -> HarnessConfig:
+    """The paper-scale configuration: all 12 datasets, tau = 100 triangles."""
+    return HarnessConfig(
+        datasets=BENCHMARK_CODES,
+        dataset_scale=1.0,
+        pairs_per_dataset=20,
+        num_triangles=100,
+        lime_samples=128,
+        shap_coalitions=150,
+        dice_candidates=120,
+        fast_models=False,
+    )
+
+
+def default_config() -> HarnessConfig:
+    """Quick configuration by default; paper-scale when ``REPRO_FULL=1`` is set."""
+    if os.environ.get("REPRO_FULL", "0") == "1":
+        return full_config()
+    return HarnessConfig()
+
+
+class ExperimentHarness:
+    """Caches datasets, trained matchers and explanations across experiments."""
+
+    def __init__(self, config: HarnessConfig | None = None) -> None:
+        self.config = config or default_config()
+        self._datasets: dict[str, ERDataset] = {}
+        self._model_cache = ModelCache(fast=self.config.fast_models)
+        self._certa_cache: dict[tuple, CertaExplanation] = {}
+
+    # ------------------------------------------------------------ data / models
+
+    def dataset(self, code: str) -> ERDataset:
+        """The (scaled) benchmark dataset for ``code``."""
+        if code not in self._datasets:
+            self._datasets[code] = load_benchmark(code, scale=self.config.dataset_scale)
+        return self._datasets[code]
+
+    def trained(self, model_name: str, code: str) -> TrainedModel:
+        """A trained matcher for (model, dataset), memoised."""
+        return self._model_cache.get(model_name, self.dataset(code))
+
+    def sample_pairs(self, code: str, count: int | None = None) -> list[RecordPair]:
+        """A balanced sample of labelled test pairs for explanation experiments."""
+        dataset = self.dataset(code)
+        count = count or self.config.pairs_per_dataset
+        rng = random.Random(self.config.seed)
+        return dataset.test.sample(count, rng=rng, balanced=True)
+
+    # -------------------------------------------------------------- explainers
+
+    def certa_explainer(self, model: ERModel, code: str, **overrides) -> CertaExplainer:
+        """A CERTA explainer wired to the dataset's sources."""
+        dataset = self.dataset(code)
+        parameters = {
+            "num_triangles": self.config.num_triangles,
+            "seed": self.config.seed,
+        }
+        parameters.update(overrides)
+        return CertaExplainer(model, dataset.left, dataset.right, **parameters)
+
+    def saliency_explainers(self, model: ERModel, code: str) -> dict[str, SaliencyExplainer]:
+        """The four saliency methods of Tables 2-3, keyed by method name."""
+        return {
+            "certa": self.certa_explainer(model, code),
+            "landmark": LandmarkExplainer(model, n_samples=self.config.lime_samples, seed=self.config.seed),
+            "mojito": MojitoExplainer(model, n_samples=self.config.lime_samples, seed=self.config.seed),
+            "shap": ShapExplainer(model, max_coalitions=self.config.shap_coalitions, seed=self.config.seed),
+        }
+
+    def counterfactual_explainers(self, model: ERModel, code: str) -> dict[str, CounterfactualExplainer]:
+        """The four counterfactual methods of Tables 4-6, keyed by method name."""
+        dataset = self.dataset(code)
+        return {
+            "certa": self.certa_explainer(model, code),
+            "dice": DiceExplainer(
+                model,
+                dataset.left,
+                dataset.right,
+                total_candidates=self.config.dice_candidates,
+                seed=self.config.seed,
+            ),
+            "shap-c": ShapCExplainer(model, max_coalitions=self.config.shap_coalitions, seed=self.config.seed),
+            "lime-c": LimeCExplainer(model, n_samples=self.config.lime_samples, seed=self.config.seed),
+        }
+
+    # ------------------------------------------------------- saliency experiments
+
+    def saliency_rows(
+        self,
+        datasets: Sequence[str] | None = None,
+        models: Sequence[str] | None = None,
+        methods: Sequence[str] = SALIENCY_METHODS,
+    ) -> list[dict[str, object]]:
+        """Faithfulness + confidence-indication rows (Tables 2 and 3)."""
+        rows = []
+        for code in datasets or self.config.datasets:
+            pairs = self.sample_pairs(code)
+            for model_name in models or self.config.models:
+                model = self.trained(model_name, code).model
+                explainers = self.saliency_explainers(model, code)
+                for method in methods:
+                    explainer = explainers[method]
+                    explanations = []
+                    for pair in pairs:
+                        try:
+                            explanations.append(explainer.explain(pair))
+                        except ExplanationError:
+                            continue
+                    if not explanations:
+                        continue
+                    faithfulness_result = faithfulness(model, explanations)
+                    rows.append(
+                        {
+                            "dataset": code,
+                            "model": model_name,
+                            "method": method,
+                            "faithfulness": faithfulness_result.auc,
+                            "confidence_indication": confidence_indication(explanations),
+                            "pairs": len(explanations),
+                        }
+                    )
+        return rows
+
+    # -------------------------------------------------- counterfactual experiments
+
+    def counterfactual_rows(
+        self,
+        datasets: Sequence[str] | None = None,
+        models: Sequence[str] | None = None,
+        methods: Sequence[str] = COUNTERFACTUAL_METHODS,
+    ) -> list[dict[str, object]]:
+        """Proximity / sparsity / diversity / count rows (Tables 4-6, Figure 10)."""
+        rows = []
+        for code in datasets or self.config.datasets:
+            pairs = self.sample_pairs(code)
+            for model_name in models or self.config.models:
+                model = self.trained(model_name, code).model
+                explainers = self.counterfactual_explainers(model, code)
+                for method in methods:
+                    explainer = explainers[method]
+                    explanations = []
+                    for pair in pairs:
+                        try:
+                            explanations.append(explainer.explain_counterfactual(pair))
+                        except ExplanationError:
+                            continue
+                    if not explanations:
+                        continue
+                    metrics = average_metrics(explanations)
+                    rows.append(
+                        {
+                            "dataset": code,
+                            "model": model_name,
+                            "method": method,
+                            **metrics,
+                            "pairs": len(explanations),
+                        }
+                    )
+        return rows
+
+    # --------------------------------------------------------- triangle sweeps
+
+    def triangle_sweep_rows(
+        self,
+        triangle_counts: Sequence[int] = (5, 10, 20, 40),
+        datasets: Sequence[str] | None = None,
+        models: Sequence[str] | None = None,
+        pairs_per_dataset: int = 2,
+    ) -> list[dict[str, object]]:
+        """Figure 11: metric averages as the number of open triangles grows."""
+        datasets = list(datasets or self.config.datasets[:2])
+        models = list(models or self.config.models)
+        rows = []
+        for code in datasets:
+            pairs = self.sample_pairs(code, count=pairs_per_dataset)
+            for tau in triangle_counts:
+                sufficiency_values, necessity_values = [], []
+                proximity_values, sparsity_values, diversity_values = [], [], []
+                explanations_by_model: dict[str, list] = {}
+                for model_name in models:
+                    model = self.trained(model_name, code).model
+                    explainer = self.certa_explainer(model, code, num_triangles=tau)
+                    saliency_explanations = []
+                    counterfactual_explanations = []
+                    for pair in pairs:
+                        try:
+                            explanation = explainer.explain_full(pair)
+                        except ExplanationError:
+                            continue
+                        sufficiency_values.append(explanation.average_sufficiency())
+                        necessity_values.append(explanation.average_necessity())
+                        saliency_explanations.append(explanation.saliency)
+                        counterfactual_explanations.append(explanation.counterfactual)
+                    if counterfactual_explanations:
+                        metrics = average_metrics(counterfactual_explanations)
+                        proximity_values.append(metrics["proximity"])
+                        sparsity_values.append(metrics["sparsity"])
+                        diversity_values.append(metrics["diversity"])
+                    explanations_by_model[model_name] = saliency_explanations
+                all_saliency = [
+                    explanation
+                    for explanations in explanations_by_model.values()
+                    for explanation in explanations
+                ]
+                if not all_saliency:
+                    continue
+                faithfulness_values = []
+                for model_name in models:
+                    model = self.trained(model_name, code).model
+                    explanations = explanations_by_model.get(model_name, [])
+                    if explanations:
+                        faithfulness_values.append(faithfulness(model, explanations).auc)
+                rows.append(
+                    {
+                        "dataset": code,
+                        "triangles": tau,
+                        "probability_of_sufficiency": float(np.mean(sufficiency_values)),
+                        "probability_of_necessity": float(np.mean(necessity_values)),
+                        "confidence_indication": confidence_indication(all_saliency),
+                        "faithfulness": float(np.mean(faithfulness_values)) if faithfulness_values else float("nan"),
+                        "proximity": float(np.mean(proximity_values)) if proximity_values else 0.0,
+                        "sparsity": float(np.mean(sparsity_values)) if sparsity_values else 0.0,
+                        "diversity": float(np.mean(diversity_values)) if diversity_values else 0.0,
+                    }
+                )
+        return rows
+
+    # ----------------------------------------------------- monotonicity (Table 7)
+
+    def monotonicity_rows(
+        self,
+        datasets: Sequence[str] | None = None,
+        model_name: str = "deepmatcher",
+        pairs_per_dataset: int = 2,
+        triangles_per_pair: int = 4,
+    ) -> list[dict[str, object]]:
+        """Table 7: predictions expected / performed / saved and the error rate."""
+        rows = []
+        for code in datasets or self.config.datasets:
+            dataset = self.dataset(code)
+            model = self.trained(model_name, code).model
+            pairs = self.sample_pairs(code, count=pairs_per_dataset)
+            expected_values, performed_values, saved_values = [], [], []
+            wrong_total, saved_total = 0, 0
+            attribute_count = len(dataset.left_schema)
+            for pair in pairs:
+                original_match = model.predict_match(pair)
+                search = find_open_triangles(
+                    model, pair, dataset.left, dataset.right,
+                    count=triangles_per_pair, seed=self.config.seed,
+                )
+                for triangle in search.triangles:
+                    free_attributes = list(triangle.free_record.attribute_names())
+
+                    def evaluate(attributes: frozenset[str]) -> bool:
+                        perturbed = perturbed_pair(triangle.pair, triangle.side, triangle.support, attributes)
+                        score = model.predict_pair(perturbed)
+                        return (score > MATCH_THRESHOLD) != original_match
+
+                    monotone_lattice, _, saved, wrong = monotonicity_violations(free_attributes, evaluate)
+                    expected = 2 ** len(free_attributes) - 2
+                    performed = len(monotone_lattice.evaluated_nodes())
+                    expected_values.append(expected)
+                    performed_values.append(performed)
+                    saved_values.append(saved)
+                    saved_total += saved
+                    wrong_total += wrong
+            if not expected_values:
+                continue
+            rows.append(
+                {
+                    "dataset": code,
+                    "attributes": attribute_count,
+                    "expected": float(np.mean(expected_values)),
+                    "performed": float(np.mean(performed_values)),
+                    "saved": float(np.mean(saved_values)),
+                    "error_rate": (wrong_total / saved_total) if saved_total else 0.0,
+                }
+            )
+        return rows
+
+    # --------------------------------------------------- augmentation (Tables 8-10)
+
+    def augmentation_supply_rows(
+        self,
+        datasets: Sequence[str] = ("BA", "FZ"),
+        models: Sequence[str] = ("deepmatcher", "ditto"),
+        target_triangles: int = 100,
+        pairs_per_dataset: int = 3,
+    ) -> list[dict[str, object]]:
+        """Table 8: open triangles obtainable *without* data augmentation."""
+        rows = []
+        for code in datasets:
+            dataset = self.dataset(code)
+            row: dict[str, object] = {"dataset": code, "target": target_triangles}
+            for model_name in models:
+                model = self.trained(model_name, code).model
+                pairs = self.sample_pairs(code, count=pairs_per_dataset)
+                counts = []
+                for pair in pairs:
+                    search = find_open_triangles(
+                        model, pair, dataset.left, dataset.right,
+                        count=target_triangles, seed=self.config.seed,
+                        allow_augmentation=False, max_candidates=None,
+                    )
+                    counts.append(len(search.triangles))
+                row[model_name] = float(np.mean(counts)) if counts else 0.0
+            rows.append(row)
+        return rows
+
+    def augmentation_effect_rows(
+        self,
+        datasets: Sequence[str] = ("BA", "FZ"),
+        models: Sequence[str] = ("deepmatcher", "ditto"),
+        pairs_per_dataset: int = 3,
+    ) -> list[dict[str, object]]:
+        """Tables 9-10: metric deltas when forcing augmentation-only triangles."""
+        rows = []
+        for model_name in models:
+            for code in datasets:
+                model = self.trained(model_name, code).model
+                pairs = self.sample_pairs(code, count=pairs_per_dataset)
+                default_explainer = self.certa_explainer(model, code)
+                forced_explainer = self.certa_explainer(model, code, force_augmentation=True)
+
+                def collect(explainer: CertaExplainer) -> dict[str, float]:
+                    saliency_explanations, counterfactual_explanations = [], []
+                    for pair in pairs:
+                        try:
+                            explanation = explainer.explain_full(pair)
+                        except ExplanationError:
+                            continue
+                        saliency_explanations.append(explanation.saliency)
+                        counterfactual_explanations.append(explanation.counterfactual)
+                    if not saliency_explanations:
+                        return {}
+                    counterfactual_metrics = average_metrics(counterfactual_explanations)
+                    return {
+                        "proximity": counterfactual_metrics["proximity"],
+                        "sparsity": counterfactual_metrics["sparsity"],
+                        "diversity": counterfactual_metrics["diversity"],
+                        "faithfulness": faithfulness(model, saliency_explanations).auc,
+                        "confidence_indication": confidence_indication(saliency_explanations),
+                    }
+
+                baseline = collect(default_explainer)
+                forced = collect(forced_explainer)
+                if not baseline or not forced:
+                    continue
+                rows.append(
+                    {
+                        "model": model_name,
+                        "dataset": code,
+                        **{f"delta_{name}": forced[name] - baseline[name] for name in baseline},
+                    }
+                )
+        return rows
+
+    # ----------------------------------------------------------- case study (Fig 12)
+
+    def case_study_rows(
+        self,
+        code: str = "BA",
+        model_name: str = "ditto",
+        max_pairs: int = 4,
+        methods: Sequence[str] = SALIENCY_METHODS,
+    ) -> list[dict[str, object]]:
+        """Figure 12: per-prediction comparison against the actual (masking) saliency."""
+        model = self.trained(model_name, code).model
+        pairs = self.sample_pairs(code, count=max_pairs)
+        explainers = self.saliency_explainers(model, code)
+        rows = []
+        for index, pair in enumerate(pairs):
+            reference = actual_saliency(model, pair)
+            prediction = model.predict_pair(pair)
+            for method in methods:
+                try:
+                    explanation = explainers[method].explain(pair)
+                except ExplanationError:
+                    continue
+                aggregates = aggregate_at_k(model, explanation, k_values=(1, 2, 3))
+                rows.append(
+                    {
+                        "pair_index": index,
+                        "label": bool(pair.label),
+                        "prediction": prediction,
+                        "method": method,
+                        "alignment_top2": saliency_alignment(explanation, reference, top_k=2),
+                        "aggr@1": aggregates[1],
+                        "aggr@2": aggregates[2],
+                        "aggr@3": aggregates[3],
+                    }
+                )
+        return rows

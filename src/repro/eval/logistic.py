@@ -1,0 +1,67 @@
+"""A tiny regularised linear regressor used by the confidence-indication metric.
+
+The confidence-indication metric of Atanasova et al. (adopted in Table 3 of
+the paper) trains a simple model to predict the classifier's confidence from
+the saliency scores and reports the mean absolute error.  A closed-form ridge
+regressor with output clipping to [0, 1] is sufficient and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RidgeRegressor:
+    """Closed-form ridge regression with an intercept and [0, 1] clipping."""
+
+    regularisation: float = 1e-2
+    _coefficients: np.ndarray | None = field(default=None, repr=False)
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RidgeRegressor":
+        """Fit on a feature matrix and target vector."""
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+        design = np.hstack([features, np.ones((features.shape[0], 1))])
+        penalty = self.regularisation * np.eye(design.shape[1])
+        penalty[-1, -1] = 0.0
+        self._coefficients = np.linalg.solve(design.T @ design + penalty, design.T @ targets)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted confidences, clipped to [0, 1]."""
+        if self._coefficients is None:
+            raise RuntimeError("RidgeRegressor.predict called before fit")
+        features = np.asarray(features, dtype=np.float64)
+        design = np.hstack([features, np.ones((features.shape[0], 1))])
+        return np.clip(design @ self._coefficients, 0.0, 1.0)
+
+
+def cross_validated_mae(features: np.ndarray, targets: np.ndarray, folds: int = 3, seed: int = 0) -> float:
+    """Mean absolute error of the ridge regressor under k-fold cross-validation."""
+    features = np.asarray(features, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    n_samples = features.shape[0]
+    if n_samples < folds + 1:
+        # Too few samples to cross-validate: report the training MAE instead.
+        model = RidgeRegressor().fit(features, targets)
+        return float(np.mean(np.abs(model.predict(features) - targets)))
+    rng = np.random.default_rng(seed)
+    order = np.arange(n_samples)
+    rng.shuffle(order)
+    fold_errors = []
+    fold_sizes = np.full(folds, n_samples // folds)
+    fold_sizes[: n_samples % folds] += 1
+    start = 0
+    for size in fold_sizes:
+        test_index = order[start : start + size]
+        train_index = np.setdiff1d(order, test_index)
+        start += size
+        if len(train_index) == 0 or len(test_index) == 0:
+            continue
+        model = RidgeRegressor().fit(features[train_index], targets[train_index])
+        predictions = model.predict(features[test_index])
+        fold_errors.append(float(np.mean(np.abs(predictions - targets[test_index]))))
+    return float(np.mean(fold_errors)) if fold_errors else float("nan")

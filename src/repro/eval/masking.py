@@ -1,0 +1,43 @@
+"""Attribute masking protocol used by the saliency-explanation metrics.
+
+Faithfulness (Table 2) and the case study (Figure 12) both need to "mask" an
+attribute, i.e. make the matcher ignore its contents.  For a black-box matcher
+the only faithful way to do that is to blank the attribute value in the input
+pair, which is what these helpers do.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.data.records import MISSING_VALUE, RecordPair
+from repro.explain.base import SaliencyExplanation, apply_attribute_changes, pair_attribute_names
+
+
+def mask_attributes(pair: RecordPair, attributes: Sequence[str]) -> RecordPair:
+    """Blank the given prefixed attributes of the pair."""
+    return apply_attribute_changes(pair, {name: MISSING_VALUE for name in attributes})
+
+
+def attributes_to_mask(explanation: SaliencyExplanation, fraction: float) -> list[str]:
+    """Top attributes of the explanation covering ``fraction`` of the schema.
+
+    The number of masked attributes is ``ceil(fraction * total_attributes)``,
+    as in the faithfulness protocol of Atanasova et al. adopted by the paper.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    names = pair_attribute_names(explanation.pair)
+    count = math.ceil(fraction * len(names))
+    return explanation.top_attributes(count)
+
+
+def mask_top_fraction(pair: RecordPair, explanation: SaliencyExplanation, fraction: float) -> RecordPair:
+    """Mask the most salient ``fraction`` of attributes according to the explanation."""
+    return mask_attributes(pair, attributes_to_mask(explanation, fraction))
+
+
+def mask_single_attribute(pair: RecordPair, prefixed_name: str) -> RecordPair:
+    """Mask exactly one attribute (used by the 'actual saliency' ground truth)."""
+    return mask_attributes(pair, [prefixed_name])

@@ -1,0 +1,131 @@
+"""Formatting of experiment results into paper-style tables.
+
+The harness returns lists of row dictionaries; these helpers pivot them into
+the layout of the paper's tables (datasets as rows, method columns grouped by
+model) and render fixed-width text tables that the benchmark scripts print and
+EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def format_table(rows: Sequence[dict[str, object]], columns: Sequence[str] | None = None, precision: int = 3) -> str:
+    """Render rows as a fixed-width text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join("  ".join(cell.ljust(width) for cell, width in zip(line, widths)) for line in rendered)
+    return f"{header}\n{separator}\n{body}"
+
+
+def pivot_metric(
+    rows: Sequence[dict[str, object]],
+    metric: str,
+    row_key: str = "dataset",
+    column_keys: Sequence[str] = ("model", "method"),
+    precision: int = 3,
+) -> str:
+    """Pivot rows into the paper's layout: one row per dataset, one column per
+    (model, method) combination, cells holding ``metric``."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    column_labels: list[str] = []
+    for row in rows:
+        label = "/".join(str(row[key]) for key in column_keys)
+        if label not in column_labels:
+            column_labels.append(label)
+    row_labels: list[str] = []
+    for row in rows:
+        label = str(row[row_key])
+        if label not in row_labels:
+            row_labels.append(label)
+
+    table: dict[str, dict[str, float]] = {label: {} for label in row_labels}
+    for row in rows:
+        column = "/".join(str(row[key]) for key in column_keys)
+        table[str(row[row_key])][column] = float(row[metric])
+
+    pivoted = []
+    for label in row_labels:
+        entry: dict[str, object] = {row_key: label}
+        for column in column_labels:
+            value = table[label].get(column)
+            entry[column] = value if value is not None else ""
+        pivoted.append(entry)
+    return format_table(pivoted, columns=[row_key, *column_labels], precision=precision)
+
+
+def best_method_per_group(
+    rows: Sequence[dict[str, object]],
+    metric: str,
+    lower_is_better: bool = False,
+    group_keys: Sequence[str] = ("dataset", "model"),
+) -> dict[tuple, str]:
+    """Winning method per (dataset, model) group — used to check table 'shape'."""
+    groups: dict[tuple, tuple[str, float]] = {}
+    for row in rows:
+        key = tuple(row[group_key] for group_key in group_keys)
+        value = float(row[metric])
+        method = str(row["method"])
+        current = groups.get(key)
+        better = (
+            current is None
+            or (lower_is_better and value < current[1])
+            or (not lower_is_better and value > current[1])
+        )
+        if better:
+            groups[key] = (method, value)
+    return {key: method for key, (method, _) in groups.items()}
+
+
+def win_counts(
+    rows: Sequence[dict[str, object]],
+    metric: str,
+    lower_is_better: bool = False,
+) -> dict[str, int]:
+    """How many (dataset, model) cells each method wins for ``metric``."""
+    winners = best_method_per_group(rows, metric, lower_is_better=lower_is_better)
+    counts: dict[str, int] = {}
+    for method in winners.values():
+        counts[method] = counts.get(method, 0) + 1
+    return counts
+
+
+def write_csv(rows: Iterable[dict[str, object]], path: str | Path) -> Path:
+    """Persist rows as CSV (used by the benchmark scripts to archive results)."""
+    rows = list(rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("", encoding="utf-8")
+        return path
+    columns: list[str] = []
+    for row in rows:
+        for column in row:
+            if column not in columns:
+                columns.append(column)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path

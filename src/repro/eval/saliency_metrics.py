@@ -1,0 +1,166 @@
+"""Quantitative metrics for saliency explanations (Tables 2, 3 and Figure 12).
+
+* **Faithfulness** — area under the threshold / model-F1 curve obtained by
+  masking an increasing fraction of the most salient attributes.  Faithful
+  explanations cause F1 to drop quickly, so *lower* AUC is better.
+* **Confidence indication** — mean absolute error of a simple regressor that
+  predicts the matcher's confidence from the saliency scores; a *lower* MAE
+  means the explanation is a better proxy of the matcher's confidence.
+* **Actual saliency** and **Aggr@k** — the per-attribute and top-k masking
+  score deltas used by the qualitative case study of Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.records import RecordPair
+from repro.exceptions import EvaluationError
+from repro.explain.base import SaliencyExplanation, pair_attribute_names
+from repro.eval.logistic import cross_validated_mae
+from repro.eval.masking import mask_single_attribute, mask_top_fraction
+from repro.models.base import MATCH_THRESHOLD, ERModel
+from repro.models.metrics import f1_score
+
+#: Masking thresholds prescribed by the paper (Section 5.3).
+FAITHFULNESS_THRESHOLDS = (0.1, 0.2, 0.33, 0.5, 0.7, 0.9)
+
+
+@dataclass
+class FaithfulnessResult:
+    """Faithfulness AUC together with the underlying threshold-performance curve."""
+
+    auc: float
+    thresholds: tuple[float, ...]
+    f1_at_threshold: tuple[float, ...]
+
+    def as_dict(self) -> dict[str, float]:
+        result = {"faithfulness_auc": self.auc}
+        for threshold, f1 in zip(self.thresholds, self.f1_at_threshold):
+            result[f"f1@{threshold}"] = f1
+        return result
+
+
+def faithfulness(
+    model: ERModel,
+    explanations: Sequence[SaliencyExplanation],
+    thresholds: Sequence[float] = FAITHFULNESS_THRESHOLDS,
+) -> FaithfulnessResult:
+    """Area under the threshold-performance (F1) curve; lower is more faithful.
+
+    Every explanation must carry a labelled pair (the ground-truth label is
+    needed to compute the model F1 on the masked inputs).
+    """
+    if not explanations:
+        raise EvaluationError("faithfulness needs at least one explanation")
+    labels = []
+    for explanation in explanations:
+        if explanation.pair.label is None:
+            raise EvaluationError("faithfulness requires labelled pairs")
+        labels.append(bool(explanation.pair.label))
+    truth = np.array(labels)
+
+    f1_values = []
+    for threshold in thresholds:
+        masked_pairs = [
+            mask_top_fraction(explanation.pair, explanation, threshold) for explanation in explanations
+        ]
+        predictions = model.predict(masked_pairs)
+        f1_values.append(f1_score(truth, predictions))
+
+    # AUC over the threshold axis, normalised by the threshold span so that the
+    # value stays in [0, 1] regardless of the threshold grid.
+    thresholds_array = np.asarray(thresholds, dtype=np.float64)
+    f1_array = np.asarray(f1_values, dtype=np.float64)
+    span = thresholds_array[-1] - thresholds_array[0]
+    auc = float(np.trapezoid(f1_array, thresholds_array) / span) if span > 0 else float(f1_array.mean())
+    return FaithfulnessResult(auc=auc, thresholds=tuple(thresholds), f1_at_threshold=tuple(f1_values))
+
+
+def _confidence_features(explanation: SaliencyExplanation) -> np.ndarray:
+    """Feature vector summarising one saliency explanation for the CI metric."""
+    scores = np.array(list(explanation.scores.values()), dtype=np.float64)
+    if scores.size == 0:
+        scores = np.zeros(1)
+    ordered = np.sort(scores)[::-1]
+    top1 = ordered[0]
+    top2 = ordered[1] if ordered.size > 1 else 0.0
+    return np.array(
+        [
+            float(scores.max()),
+            float(scores.mean()),
+            float(scores.std()),
+            float(top1 - top2),
+            float(scores.sum()),
+            1.0 if explanation.predicted_match else 0.0,
+        ]
+    )
+
+
+def confidence_indication(explanations: Sequence[SaliencyExplanation], folds: int = 3) -> float:
+    """Mean absolute error of predicting the matcher confidence from saliency scores.
+
+    The matcher's confidence for the predicted class is ``score`` for matches
+    and ``1 - score`` for non-matches; lower MAE means the saliency scores are
+    a better proxy of confidence (Table 3, lower is better).
+    """
+    if not explanations:
+        raise EvaluationError("confidence indication needs at least one explanation")
+    features = np.vstack([_confidence_features(explanation) for explanation in explanations])
+    confidences = np.array(
+        [
+            explanation.prediction if explanation.predicted_match else 1.0 - explanation.prediction
+            for explanation in explanations
+        ]
+    )
+    return cross_validated_mae(features, confidences, folds=folds)
+
+
+def actual_saliency(model: ERModel, pair: RecordPair) -> dict[str, float]:
+    """Ground-truth saliency of Figure 12: per-attribute masking score delta.
+
+    For every attribute, the attribute is masked in isolation and the absolute
+    change of the matching score is reported.
+    """
+    original = model.predict_pair(pair)
+    deltas = {}
+    for name in pair_attribute_names(pair):
+        masked_score = model.predict_pair(mask_single_attribute(pair, name))
+        deltas[name] = abs(original - masked_score)
+    return deltas
+
+
+def aggregate_at_k(
+    model: ERModel,
+    explanation: SaliencyExplanation,
+    k_values: Sequence[int] = (1, 2, 3),
+) -> dict[int, float]:
+    """Figure 12's ``Aggr@k``: score change when masking the top-k salient attributes."""
+    original = model.predict_pair(explanation.pair)
+    results = {}
+    names = pair_attribute_names(explanation.pair)
+    for k in k_values:
+        top = explanation.top_attributes(min(k, len(names)))
+        from repro.eval.masking import mask_attributes
+
+        masked = mask_attributes(explanation.pair, top)
+        results[k] = abs(original - model.predict_pair(masked))
+    return results
+
+
+def saliency_alignment(explanation: SaliencyExplanation, reference: dict[str, float], top_k: int = 2) -> float:
+    """Fraction of the reference's top-k attributes recovered by the explanation.
+
+    Used by the case-study benchmark to quantify how well each method's top
+    attributes agree with the actual (masking-based) saliency.
+    """
+    reference_top = [
+        name for name, _ in sorted(reference.items(), key=lambda item: (-item[1], item[0]))[:top_k]
+    ]
+    explanation_top = explanation.top_attributes(top_k)
+    if not reference_top:
+        return 0.0
+    return len(set(reference_top) & set(explanation_top)) / len(reference_top)

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro (CERTA reproduction) library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  Subclasses distinguish the subsystem at fault,
+which keeps error handling close to the public API surface documented in the
+README.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """Raised when records or tables violate their declared schema."""
+
+
+class DatasetError(ReproError):
+    """Raised for malformed datasets, splits or registry lookups."""
+
+
+class ModelError(ReproError):
+    """Raised when an ER model is misused (e.g. predicting before training)."""
+
+
+class NotFittedError(ModelError):
+    """Raised when ``predict`` is called on a model that has not been fitted."""
+
+
+class ExplanationError(ReproError):
+    """Raised when an explainer cannot produce an explanation."""
+
+
+class TriangleError(ExplanationError):
+    """Raised when open-triangle discovery fails (e.g. empty sources)."""
+
+
+class LatticeError(ExplanationError):
+    """Raised for invalid lattice construction or traversal requests."""
+
+
+class EvaluationError(ReproError):
+    """Raised by the evaluation harness for invalid metric configurations."""

@@ -1,0 +1,53 @@
+"""Explanation methods: CERTA baselines (LIME, SHAP, Mojito, LandMark, DiCE,
+LIME-C, SHAP-C) and the shared explanation data structures."""
+
+from repro.explain.base import (
+    CounterfactualExample,
+    CounterfactualExplainer,
+    CounterfactualExplanation,
+    LEFT_PREFIX,
+    RIGHT_PREFIX,
+    SaliencyExplainer,
+    SaliencyExplanation,
+    apply_attribute_changes,
+    changed_attribute_names,
+    pair_attribute_names,
+    prefixed_attribute,
+    split_prefixed,
+)
+from repro.explain.dice import DiceExplainer
+from repro.explain.landmark import LandmarkExplainer
+from repro.explain.lime import LimeExplainer, exponential_kernel, weighted_ridge
+from repro.explain.mojito import MojitoExplainer
+from repro.explain.sampling import AttributeValuePool, perturb_pair, sample_binary_perturbations
+from repro.explain.sedc import LimeCExplainer, SedcCounterfactualExplainer, ShapCExplainer
+from repro.explain.shap import ShapExplainer, shapley_kernel_weight
+
+__all__ = [
+    "AttributeValuePool",
+    "CounterfactualExample",
+    "CounterfactualExplainer",
+    "CounterfactualExplanation",
+    "DiceExplainer",
+    "LEFT_PREFIX",
+    "LandmarkExplainer",
+    "LimeCExplainer",
+    "LimeExplainer",
+    "MojitoExplainer",
+    "RIGHT_PREFIX",
+    "SaliencyExplainer",
+    "SaliencyExplanation",
+    "SedcCounterfactualExplainer",
+    "ShapCExplainer",
+    "ShapExplainer",
+    "apply_attribute_changes",
+    "changed_attribute_names",
+    "exponential_kernel",
+    "pair_attribute_names",
+    "perturb_pair",
+    "prefixed_attribute",
+    "sample_binary_perturbations",
+    "shapley_kernel_weight",
+    "split_prefixed",
+    "weighted_ridge",
+]

@@ -1,0 +1,215 @@
+"""Explanation data structures and explainer protocols.
+
+Two explanation kinds exist throughout the paper and the library:
+
+* a :class:`SaliencyExplanation` assigns an importance score to every
+  attribute of the input pair (both sides);
+* a :class:`CounterfactualExplanation` carries one or more perturbed pairs
+  that flip the model prediction, each annotated with the attributes changed.
+
+Attribute naming convention: attributes of the left record are prefixed with
+``left_`` and those of the right record with ``right_`` (the paper uses
+``Name_Abt`` / ``Name_Buy``).  Helper functions convert between prefixed names
+and ``(side, attribute)`` tuples.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.data.records import RecordPair
+from repro.exceptions import ExplanationError
+from repro.models.base import MATCH_THRESHOLD, ERModel
+
+LEFT_PREFIX = "left_"
+RIGHT_PREFIX = "right_"
+
+
+def prefixed_attribute(side: str, attribute: str) -> str:
+    """Build the prefixed attribute name for ``side`` (``"left"`` or ``"right"``)."""
+    if side == "left":
+        return f"{LEFT_PREFIX}{attribute}"
+    if side == "right":
+        return f"{RIGHT_PREFIX}{attribute}"
+    raise ExplanationError(f"side must be 'left' or 'right', got {side!r}")
+
+
+def split_prefixed(name: str) -> tuple[str, str]:
+    """Split a prefixed attribute name into ``(side, attribute)``."""
+    if name.startswith(LEFT_PREFIX):
+        return "left", name[len(LEFT_PREFIX) :]
+    if name.startswith(RIGHT_PREFIX):
+        return "right", name[len(RIGHT_PREFIX) :]
+    raise ExplanationError(f"attribute name {name!r} has no side prefix")
+
+
+def pair_attribute_names(pair: RecordPair) -> tuple[str, ...]:
+    """All prefixed attribute names of a pair, left side first."""
+    return pair.attribute_names(prefix_left=LEFT_PREFIX, prefix_right=RIGHT_PREFIX)
+
+
+def apply_attribute_changes(pair: RecordPair, changes: dict[str, str]) -> RecordPair:
+    """Return a copy of ``pair`` with prefixed-attribute value changes applied."""
+    left_changes: dict[str, str] = {}
+    right_changes: dict[str, str] = {}
+    for name, value in changes.items():
+        side, attribute = split_prefixed(name)
+        if side == "left":
+            left_changes[attribute] = value
+        else:
+            right_changes[attribute] = value
+    left = pair.left.replace_values(left_changes) if left_changes else pair.left
+    right = pair.right.replace_values(right_changes) if right_changes else pair.right
+    return RecordPair(left=left, right=right, label=pair.label)
+
+
+@dataclass
+class SaliencyExplanation:
+    """Attribute-level saliency scores for one prediction."""
+
+    pair: RecordPair
+    prediction: float
+    scores: dict[str, float]
+    method: str
+    metadata: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def predicted_match(self) -> bool:
+        """Whether the explained prediction was a match."""
+        return self.prediction > MATCH_THRESHOLD
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """Attributes sorted by descending saliency (ties broken by name)."""
+        return sorted(self.scores.items(), key=lambda item: (-item[1], item[0]))
+
+    def top_attributes(self, count: int) -> list[str]:
+        """Names of the ``count`` most salient attributes."""
+        return [name for name, _ in self.ranked()[:count]]
+
+    def score_of(self, name: str) -> float:
+        """Saliency score of a prefixed attribute (0 when absent)."""
+        return self.scores.get(name, 0.0)
+
+    def side_scores(self, side: str) -> dict[str, float]:
+        """Scores restricted to one side, keyed by the unprefixed attribute name."""
+        result = {}
+        for name, score in self.scores.items():
+            name_side, attribute = split_prefixed(name)
+            if name_side == side:
+                result[attribute] = score
+        return result
+
+    def normalised(self) -> "SaliencyExplanation":
+        """Scores rescaled to sum to 1 (absolute values); zero-sum stays as is."""
+        total = sum(abs(score) for score in self.scores.values())
+        if total == 0:
+            return self
+        scores = {name: abs(score) / total for name, score in self.scores.items()}
+        return SaliencyExplanation(
+            pair=self.pair,
+            prediction=self.prediction,
+            scores=scores,
+            method=self.method,
+            metadata=dict(self.metadata),
+        )
+
+
+@dataclass
+class CounterfactualExample:
+    """One perturbed pair proposed as a counterfactual."""
+
+    pair: RecordPair
+    changed_attributes: tuple[str, ...]
+    score: float
+    original_score: float
+
+    @property
+    def flipped(self) -> bool:
+        """True when the perturbed pair lands on the other side of the threshold."""
+        return (self.score > MATCH_THRESHOLD) != (self.original_score > MATCH_THRESHOLD)
+
+    def changed_values(self) -> dict[str, str]:
+        """Prefixed attribute name -> new value for every changed attribute."""
+        flat = self.pair.as_flat_dict(prefix_left=LEFT_PREFIX, prefix_right=RIGHT_PREFIX)
+        return {name: flat[name] for name in self.changed_attributes if name in flat}
+
+
+@dataclass
+class CounterfactualExplanation:
+    """A set of counterfactual examples for one prediction."""
+
+    pair: RecordPair
+    prediction: float
+    examples: list[CounterfactualExample]
+    method: str
+    attribute_set: tuple[str, ...] = ()
+    sufficiency: float = 0.0
+    metadata: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def predicted_match(self) -> bool:
+        """Whether the explained prediction was a match."""
+        return self.prediction > MATCH_THRESHOLD
+
+    def valid_examples(self) -> list[CounterfactualExample]:
+        """Examples that actually flip the prediction."""
+        return [example for example in self.examples if example.flipped]
+
+    def count(self) -> int:
+        """Number of proposed examples (Figure 10 reports the average of this)."""
+        return len(self.examples)
+
+    def best_example(self) -> CounterfactualExample | None:
+        """The flipping example with the largest score change, if any."""
+        valid = self.valid_examples()
+        if not valid:
+            return None
+        return max(valid, key=lambda example: abs(example.score - example.original_score))
+
+
+class SaliencyExplainer(ABC):
+    """Base class for saliency (feature-attribution) explainers."""
+
+    method_name = "saliency"
+
+    def __init__(self, model: ERModel) -> None:
+        self.model = model
+
+    @abstractmethod
+    def explain(self, pair: RecordPair) -> SaliencyExplanation:
+        """Produce a saliency explanation for the model's prediction on ``pair``."""
+
+    def explain_many(self, pairs: Sequence[RecordPair]) -> list[SaliencyExplanation]:
+        """Explain several pairs (sequentially; subclasses may parallelise)."""
+        return [self.explain(pair) for pair in pairs]
+
+
+class CounterfactualExplainer(ABC):
+    """Base class for counterfactual explainers."""
+
+    method_name = "counterfactual"
+
+    def __init__(self, model: ERModel) -> None:
+        self.model = model
+
+    @abstractmethod
+    def explain_counterfactual(self, pair: RecordPair) -> CounterfactualExplanation:
+        """Produce counterfactual examples for the model's prediction on ``pair``."""
+
+    def explain_many(self, pairs: Sequence[RecordPair]) -> list[CounterfactualExplanation]:
+        """Explain several pairs sequentially."""
+        return [self.explain_counterfactual(pair) for pair in pairs]
+
+
+def changed_attribute_names(original: RecordPair, perturbed: RecordPair) -> tuple[str, ...]:
+    """Prefixed names of attributes whose values differ between two pairs."""
+    changed = []
+    for name in original.left.attribute_names():
+        if original.left.value(name) != perturbed.left.value(name):
+            changed.append(prefixed_attribute("left", name))
+    for name in original.right.attribute_names():
+        if original.right.value(name) != perturbed.right.value(name):
+            changed.append(prefixed_attribute("right", name))
+    return tuple(changed)

@@ -1,0 +1,60 @@
+"""Mojito: the ER-specific LIME adaptation of Di Cicco et al. (aiDM 2019).
+
+Mojito keeps LIME's local surrogate machinery but chooses the perturbation
+operator from the ER semantics of the prediction being explained:
+
+* **mojito-drop** for Match predictions — removing attribute values can only
+  take evidence away, so dropping is informative for matches;
+* **mojito-copy** for Non-Match predictions — copying the aligned value from
+  the other record makes the pair more similar, which is the only way a
+  perturbation can push a non-match towards a match.
+
+This mirrors the configuration the paper uses in its experiments (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from repro.data.records import RecordPair
+from repro.explain.base import SaliencyExplainer, SaliencyExplanation
+from repro.explain.lime import LimeExplainer
+from repro.models.base import ERModel
+
+
+class MojitoExplainer(SaliencyExplainer):
+    """LIME with ER-aware drop/copy perturbation operators."""
+
+    method_name = "mojito"
+
+    def __init__(
+        self,
+        model: ERModel,
+        n_samples: int = 128,
+        kernel_width: float = 0.75,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(model)
+        self._drop_engine = LimeExplainer(
+            model, n_samples=n_samples, operator="drop", kernel_width=kernel_width, seed=seed
+        )
+        self._copy_engine = LimeExplainer(
+            model, n_samples=n_samples, operator="copy", kernel_width=kernel_width, seed=seed + 1
+        )
+
+    def explain(self, pair: RecordPair) -> SaliencyExplanation:
+        """Mojito saliency explanation: drop for matches, copy for non-matches.
+
+        For the copy operator the surrogate coefficients measure how much
+        *keeping the original value* (rather than copying the opposite one)
+        supports the non-match outcome, so the sign handling of the underlying
+        LIME engine already yields "importance towards the predicted class".
+        """
+        score = self.model.predict_pair(pair)
+        engine = self._drop_engine if score > 0.5 else self._copy_engine
+        explanation = engine.explain(pair)
+        return SaliencyExplanation(
+            pair=pair,
+            prediction=explanation.prediction,
+            scores=explanation.scores,
+            method=self.method_name,
+            metadata={"operator": 1.0 if score > 0.5 else 0.0, **explanation.metadata},
+        )

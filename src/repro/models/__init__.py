@@ -1,0 +1,53 @@
+"""ER matchers: the black boxes that CERTA and the baselines explain."""
+
+from repro.models.base import MATCH_THRESHOLD, ERModel, TrainingReport, pair_cache_key
+from repro.models.classical import ClassicalMatcher
+from repro.models.deeper import DeepERModel
+from repro.models.deepmatcher import DeepMatcherModel
+from repro.models.ditto import DittoModel
+from repro.models.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_counts,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.models.persistence import load_model, save_model
+from repro.models.training import (
+    MODEL_FACTORIES,
+    PAPER_MODEL_NAMES,
+    ModelCache,
+    SHARED_MODEL_CACHE,
+    TrainedModel,
+    make_model,
+    train_model,
+    train_model_zoo,
+)
+
+__all__ = [
+    "ClassicalMatcher",
+    "DeepERModel",
+    "DeepMatcherModel",
+    "DittoModel",
+    "ERModel",
+    "MATCH_THRESHOLD",
+    "MODEL_FACTORIES",
+    "ModelCache",
+    "PAPER_MODEL_NAMES",
+    "SHARED_MODEL_CACHE",
+    "TrainedModel",
+    "TrainingReport",
+    "accuracy_score",
+    "classification_report",
+    "confusion_counts",
+    "f1_score",
+    "load_model",
+    "make_model",
+    "pair_cache_key",
+    "precision_score",
+    "recall_score",
+    "save_model",
+    "train_model",
+    "train_model_zoo",
+]

@@ -1,0 +1,233 @@
+"""The black-box ER model interface shared by matchers and explainers.
+
+Every explanation method in this library (CERTA and all baselines) treats the
+matcher as a black box exposing a single operation: *given a record pair,
+return a matching score in [0, 1]*.  :class:`ERModel` fixes that contract, adds
+prediction caching (explainers evaluate thousands of perturbed copies of the
+same few records) and provides the shared training loop used by the concrete
+DeepER / DeepMatcher / Ditto stand-ins.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import PairSplit
+from repro.data.records import Record, RecordPair
+from repro.exceptions import ModelError, NotFittedError
+from repro.models.metrics import classification_report
+from repro.models.nn.network import MLPClassifier
+
+#: Matching threshold used throughout the paper: score > 0.5 means Match.
+MATCH_THRESHOLD = 0.5
+
+
+@dataclass
+class TrainingReport:
+    """Summary of one training run of an ER model."""
+
+    model_name: str
+    epochs: int
+    final_loss: float
+    train_f1: float
+    valid_f1: float
+    train_pairs: int
+    valid_pairs: int
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Plain dictionary view for logging / serialisation."""
+        return {
+            "model_name": self.model_name,
+            "epochs": self.epochs,
+            "final_loss": self.final_loss,
+            "train_f1": self.train_f1,
+            "valid_f1": self.valid_f1,
+            "train_pairs": self.train_pairs,
+            "valid_pairs": self.valid_pairs,
+        }
+
+
+def _record_key(record: Record) -> tuple:
+    return tuple(record.values.items())
+
+
+def pair_cache_key(pair: RecordPair) -> tuple:
+    """Content-based cache key for a record pair (ignores ids and labels)."""
+    return (_record_key(pair.left), _record_key(pair.right))
+
+
+class ERModel(ABC):
+    """Abstract base class for binary ER matchers with probability outputs.
+
+    Subclasses implement :meth:`_featurize_pair` (and optionally
+    :meth:`_prepare`, called once before featurising the training set).  The
+    base class owns the MLP head, the training loop and prediction caching.
+    """
+
+    name = "er-model"
+
+    def __init__(
+        self,
+        hidden_dims: Sequence[int] = (32, 16),
+        epochs: int = 80,
+        learning_rate: float = 0.01,
+        dropout: float = 0.0,
+        seed: int = 0,
+        cache_predictions: bool = True,
+    ) -> None:
+        self.hidden_dims = tuple(hidden_dims)
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.dropout = dropout
+        self.seed = seed
+        self.cache_predictions = cache_predictions
+        self._classifier: MLPClassifier | None = None
+        self._cache: dict[tuple, float] = {}
+        self.training_report: TrainingReport | None = None
+
+    # ------------------------------------------------------------ subclass API
+
+    @abstractmethod
+    def _featurize_pair(self, pair: RecordPair) -> np.ndarray:
+        """Turn one record pair into a fixed-width numeric feature vector."""
+
+    def _prepare(self, pairs: Sequence[RecordPair]) -> None:
+        """Hook: fit any featurisation state (vocabularies, IDF weights, ...)."""
+
+    # -------------------------------------------------------------- featurising
+
+    def featurize(self, pairs: Sequence[RecordPair]) -> np.ndarray:
+        """Feature matrix for a sequence of pairs."""
+        if not pairs:
+            raise ModelError(f"{self.name}: cannot featurize an empty pair sequence")
+        return np.vstack([self._featurize_pair(pair) for pair in pairs])
+
+    # ----------------------------------------------------------------- training
+
+    def fit(self, train: PairSplit | Sequence[RecordPair], valid: PairSplit | Sequence[RecordPair] | None = None) -> TrainingReport:
+        """Train the matcher on labelled pairs and report train/valid F1."""
+        train_pairs = list(train.pairs if isinstance(train, PairSplit) else train)
+        valid_pairs = list(valid.pairs if isinstance(valid, PairSplit) else (valid or []))
+        if not train_pairs:
+            raise ModelError(f"{self.name}: training set is empty")
+        labels = np.array(
+            [1.0 if pair.label else 0.0 for pair in train_pairs], dtype=np.float64
+        )
+        if any(pair.label is None for pair in train_pairs):
+            raise ModelError(f"{self.name}: all training pairs must be labelled")
+
+        self._prepare(train_pairs)
+        features = self.featurize(train_pairs)
+        self._classifier = MLPClassifier(
+            input_dim=features.shape[1],
+            hidden_dims=self.hidden_dims,
+            dropout=self.dropout,
+            learning_rate=self.learning_rate,
+            seed=self.seed,
+        )
+        validation = None
+        valid_features = None
+        valid_labels = None
+        if valid_pairs:
+            valid_features = self.featurize(valid_pairs)
+            valid_labels = np.array([1.0 if pair.label else 0.0 for pair in valid_pairs])
+            validation = (valid_features, valid_labels)
+        history = self._classifier.fit(
+            features,
+            labels,
+            epochs=self.epochs,
+            validation=validation,
+            patience=12,
+        )
+        self._cache.clear()
+
+        train_scores = self._classifier.predict_proba(features)
+        train_report = classification_report(labels > 0.5, train_scores >= MATCH_THRESHOLD)
+        if valid_features is not None and valid_labels is not None:
+            valid_scores = self._classifier.predict_proba(valid_features)
+            valid_report = classification_report(valid_labels > 0.5, valid_scores >= MATCH_THRESHOLD)
+            valid_f1 = valid_report["f1"]
+        else:
+            valid_f1 = float("nan")
+        self.training_report = TrainingReport(
+            model_name=self.name,
+            epochs=history.epochs,
+            final_loss=history.final_loss(),
+            train_f1=train_report["f1"],
+            valid_f1=valid_f1,
+            train_pairs=len(train_pairs),
+            valid_pairs=len(valid_pairs),
+        )
+        return self.training_report
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._classifier is not None
+
+    def _require_fitted(self) -> MLPClassifier:
+        if self._classifier is None:
+            raise NotFittedError(f"{self.name}: predict called before fit")
+        return self._classifier
+
+    # --------------------------------------------------------------- prediction
+
+    def predict_proba(self, pairs: Sequence[RecordPair]) -> np.ndarray:
+        """Matching scores in [0, 1] for each pair (cached by record content)."""
+        classifier = self._require_fitted()
+        if not pairs:
+            return np.zeros(0, dtype=np.float64)
+        scores = np.zeros(len(pairs), dtype=np.float64)
+        to_compute: list[int] = []
+        keys: list[tuple | None] = []
+        for index, pair in enumerate(pairs):
+            key = pair_cache_key(pair) if self.cache_predictions else None
+            keys.append(key)
+            if key is not None and key in self._cache:
+                scores[index] = self._cache[key]
+            else:
+                to_compute.append(index)
+        if to_compute:
+            features = np.vstack([self._featurize_pair(pairs[index]) for index in to_compute])
+            computed = classifier.predict_proba(features)
+            for position, index in enumerate(to_compute):
+                scores[index] = computed[position]
+                key = keys[index]
+                if key is not None:
+                    self._cache[key] = float(computed[position])
+        return scores
+
+    def predict_pair(self, pair: RecordPair) -> float:
+        """Matching score of a single pair."""
+        return float(self.predict_proba([pair])[0])
+
+    def predict(self, pairs: Sequence[RecordPair]) -> np.ndarray:
+        """Boolean match decisions (score > 0.5)."""
+        return self.predict_proba(pairs) > MATCH_THRESHOLD
+
+    def predict_match(self, pair: RecordPair) -> bool:
+        """Boolean match decision for a single pair."""
+        return self.predict_pair(pair) > MATCH_THRESHOLD
+
+    # ------------------------------------------------------------------ utility
+
+    def prediction_count(self) -> int:
+        """Number of distinct pair contents scored so far (cache size)."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop the prediction cache (used between experiments)."""
+        self._cache.clear()
+
+    def evaluate(self, pairs: Sequence[RecordPair]) -> dict[str, float]:
+        """Precision / recall / F1 / accuracy against ground-truth labels."""
+        labelled = [pair for pair in pairs if pair.label is not None]
+        if not labelled:
+            raise ModelError(f"{self.name}: evaluate needs labelled pairs")
+        truth = np.array([bool(pair.label) for pair in labelled])
+        predictions = self.predict(labelled)
+        return classification_report(truth, predictions)

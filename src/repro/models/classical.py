@@ -1,0 +1,47 @@
+"""Classical feature-based matcher: a non-deep baseline.
+
+The paper's intro notes that pre-DL ER systems used SVMs over hand-crafted
+similarity features (Christen 2008).  This matcher provides that behaviour: a
+logistic-regression-like model (an MLP with no hidden layer) over per-attribute
+string similarities.  It is used in tests as a fast, very predictable black box
+and in the examples to contrast explanation behaviour across model families.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.records import RecordPair
+from repro.models.base import ERModel
+from repro.models.features import aligned_attribute_pairs, attribute_comparison_vector
+
+
+class ClassicalMatcher(ERModel):
+    """Logistic matcher over per-attribute similarity features."""
+
+    name = "classical"
+
+    def __init__(
+        self,
+        epochs: int = 120,
+        learning_rate: float = 0.05,
+        seed: int = 3,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            hidden_dims=(),
+            epochs=epochs,
+            learning_rate=learning_rate,
+            seed=seed,
+            **kwargs,
+        )
+
+    def _featurize_pair(self, pair: RecordPair) -> np.ndarray:
+        vectors = [
+            attribute_comparison_vector(left_value, right_value)
+            for _, __, left_value, right_value in aligned_attribute_pairs(pair)
+        ]
+        vectors.append(attribute_comparison_vector(pair.left.as_text(), pair.right.as_text()))
+        return np.concatenate(vectors)

@@ -1,0 +1,50 @@
+"""DeepER stand-in: record-level distributed representations.
+
+The original DeepER (Ebraheem et al., PVLDB 2018) averages pretrained word
+embeddings per record (or feeds them through an LSTM) and classifies the
+composed pair representation.  This stand-in keeps the same *shape*: one
+embedding per record, composed by absolute difference and Hadamard product,
+classified by a small MLP.  Because the representation is record-level (not
+attribute-aware), its behaviour under attribute perturbations differs from the
+attribute-centric models — exactly the contrast the paper's experiments rely
+on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.records import RecordPair
+from repro.models.base import ERModel
+from repro.models.features import RecordEmbedder
+from repro.text.embeddings import HashedEmbeddings
+
+
+class DeepERModel(ERModel):
+    """Record-level embedding matcher (DeepER-style)."""
+
+    name = "deeper"
+
+    def __init__(
+        self,
+        embedding_dim: int = 48,
+        hidden_dims: Sequence[int] = (32, 16),
+        epochs: int = 80,
+        learning_rate: float = 0.01,
+        seed: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            hidden_dims=hidden_dims,
+            epochs=epochs,
+            learning_rate=learning_rate,
+            seed=seed,
+            **kwargs,
+        )
+        self.embedding_dim = embedding_dim
+        self._embedder = RecordEmbedder(HashedEmbeddings(dimension=embedding_dim, seed=seed + 17))
+
+    def _featurize_pair(self, pair: RecordPair) -> np.ndarray:
+        return self._embedder.compose_pair(pair)

@@ -1,0 +1,50 @@
+"""DeepMatcher stand-in: attribute-level summarise-and-compare hybrid model.
+
+DeepMatcher (Mudgal et al., SIGMOD 2018) summarises each attribute value into a
+vector, compares aligned attribute summaries, and aggregates the comparison
+vectors with learned weights.  This stand-in computes a rich per-attribute
+comparison vector (embedding cosine plus string similarities) and lets the MLP
+head learn the aggregation, preserving the property the paper leans on: the
+model "explicitly captures attribute-level information".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.records import RecordPair
+from repro.models.base import ERModel
+from repro.models.features import AttributeEmbedder, attribute_comparison_vector
+from repro.text.embeddings import HashedEmbeddings
+
+
+class DeepMatcherModel(ERModel):
+    """Attribute-level hybrid matcher (DeepMatcher-style)."""
+
+    name = "deepmatcher"
+
+    def __init__(
+        self,
+        embedding_dim: int = 32,
+        hidden_dims: Sequence[int] = (48, 24),
+        epochs: int = 90,
+        learning_rate: float = 0.01,
+        seed: int = 1,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            hidden_dims=hidden_dims,
+            epochs=epochs,
+            learning_rate=learning_rate,
+            seed=seed,
+            **kwargs,
+        )
+        self.embedding_dim = embedding_dim
+        self._embedder = AttributeEmbedder(HashedEmbeddings(dimension=embedding_dim, seed=seed + 31))
+
+    def _featurize_pair(self, pair: RecordPair) -> np.ndarray:
+        attribute_part = self._embedder.compose_pair(pair)
+        whole_record_part = attribute_comparison_vector(pair.left.as_text(), pair.right.as_text())
+        return np.concatenate([attribute_part, whole_record_part])

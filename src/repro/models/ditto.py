@@ -1,0 +1,98 @@
+"""Ditto stand-in: serialised-pair matcher with training-time augmentation.
+
+Ditto (Li et al., PVLDB 2020) serialises the whole record pair into one token
+sequence (``COL name VAL value ...``) and fine-tunes a pretrained transformer
+on it, with data augmentation (attribute/token dropping and shuffling) and
+domain-knowledge injection.  This stand-in keeps the serialisation, replaces
+the transformer with hashed token-interaction features plus cross-attribute
+alignment, and keeps the augmentation: each training pair contributes extra
+perturbed copies, which makes the model noticeably sharper (more confident)
+than the other two — the qualitative behaviour the paper reports.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import PairSplit
+from repro.data.records import Record, RecordPair
+from repro.models.base import ERModel, TrainingReport
+from repro.models.features import SerializedPairEncoder
+from repro.text.embeddings import HashedEmbeddings
+from repro.text.vectorize import HashingVectorizer
+
+
+def _drop_random_tokens(record: Record, rng: random.Random, drop_probability: float = 0.2) -> Record:
+    """Ditto-style augmentation operator: randomly drop tokens from each value."""
+    replacements = {}
+    for name in record.attribute_names():
+        tokens = record.tokens(name)
+        if len(tokens) < 2:
+            continue
+        kept = [token for token in tokens if rng.random() > drop_probability]
+        if not kept:
+            kept = [tokens[0]]
+        if kept != tokens:
+            replacements[name] = " ".join(kept)
+    if not replacements:
+        return record
+    return record.replace_values(replacements, suffix="+aug")
+
+
+class DittoModel(ERModel):
+    """Serialised-pair matcher with augmentation (Ditto-style)."""
+
+    name = "ditto"
+
+    def __init__(
+        self,
+        hash_features: int = 128,
+        embedding_dim: int = 32,
+        hidden_dims: Sequence[int] = (64, 32),
+        epochs: int = 110,
+        learning_rate: float = 0.008,
+        augmentation_copies: int = 1,
+        seed: int = 2,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            hidden_dims=hidden_dims,
+            epochs=epochs,
+            learning_rate=learning_rate,
+            seed=seed,
+            **kwargs,
+        )
+        self.hash_features = hash_features
+        self.augmentation_copies = augmentation_copies
+        self._encoder = SerializedPairEncoder(
+            vectorizer=HashingVectorizer(n_features=hash_features, seed=seed + 7),
+            embeddings=HashedEmbeddings(dimension=embedding_dim, seed=seed + 11),
+        )
+
+    def _featurize_pair(self, pair: RecordPair) -> np.ndarray:
+        return self._encoder.compose_pair(pair)
+
+    def _augment(self, pairs: Sequence[RecordPair]) -> list[RecordPair]:
+        """Create perturbed copies of the training pairs (labels preserved)."""
+        rng = random.Random(self.seed + 101)
+        augmented: list[RecordPair] = []
+        for pair in pairs:
+            for _ in range(self.augmentation_copies):
+                augmented.append(
+                    RecordPair(
+                        left=_drop_random_tokens(pair.left, rng),
+                        right=_drop_random_tokens(pair.right, rng),
+                        label=pair.label,
+                    )
+                )
+        return augmented
+
+    def fit(self, train: PairSplit | Sequence[RecordPair], valid: PairSplit | Sequence[RecordPair] | None = None) -> TrainingReport:
+        """Train on the labelled pairs plus Ditto-style augmented copies."""
+        train_pairs = list(train.pairs if isinstance(train, PairSplit) else train)
+        if self.augmentation_copies > 0 and train_pairs:
+            train_pairs = train_pairs + self._augment(train_pairs)
+        return super().fit(train_pairs, valid)

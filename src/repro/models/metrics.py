@@ -1,0 +1,63 @@
+"""Binary classification metrics used to assess the ER matchers.
+
+The evaluation metrics for *explanations* live in :mod:`repro.eval`; this
+module only covers the matcher-quality metrics (precision, recall, F1) that
+the faithfulness metric of the paper is built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def confusion_counts(truth: np.ndarray, predictions: np.ndarray) -> tuple[int, int, int, int]:
+    """Return (true positives, false positives, true negatives, false negatives)."""
+    truth = np.asarray(truth, dtype=bool)
+    predictions = np.asarray(predictions, dtype=bool)
+    if truth.shape != predictions.shape:
+        raise ValueError(f"shape mismatch: {truth.shape} vs {predictions.shape}")
+    true_positive = int(np.sum(truth & predictions))
+    false_positive = int(np.sum(~truth & predictions))
+    true_negative = int(np.sum(~truth & ~predictions))
+    false_negative = int(np.sum(truth & ~predictions))
+    return true_positive, false_positive, true_negative, false_negative
+
+
+def precision_score(truth: np.ndarray, predictions: np.ndarray) -> float:
+    """Precision of the positive (match) class; 0 when nothing is predicted positive."""
+    true_positive, false_positive, _, _ = confusion_counts(truth, predictions)
+    denominator = true_positive + false_positive
+    return true_positive / denominator if denominator else 0.0
+
+
+def recall_score(truth: np.ndarray, predictions: np.ndarray) -> float:
+    """Recall of the positive (match) class; 0 when there are no positives."""
+    true_positive, _, _, false_negative = confusion_counts(truth, predictions)
+    denominator = true_positive + false_negative
+    return true_positive / denominator if denominator else 0.0
+
+
+def f1_score(truth: np.ndarray, predictions: np.ndarray) -> float:
+    """F1 of the positive class, the headline matcher metric in the ER literature."""
+    precision = precision_score(truth, predictions)
+    recall = recall_score(truth, predictions)
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def accuracy_score(truth: np.ndarray, predictions: np.ndarray) -> float:
+    """Fraction of correct decisions."""
+    true_positive, false_positive, true_negative, false_negative = confusion_counts(truth, predictions)
+    total = true_positive + false_positive + true_negative + false_negative
+    return (true_positive + true_negative) / total if total else 0.0
+
+
+def classification_report(truth: np.ndarray, predictions: np.ndarray) -> dict[str, float]:
+    """All four metrics in one dictionary."""
+    return {
+        "precision": precision_score(truth, predictions),
+        "recall": recall_score(truth, predictions),
+        "f1": f1_score(truth, predictions),
+        "accuracy": accuracy_score(truth, predictions),
+    }

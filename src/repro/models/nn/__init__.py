@@ -1,0 +1,22 @@
+"""Numpy neural substrate: layers, losses, optimisers and the MLP classifier."""
+
+from repro.models.nn.layers import Dense, Dropout, ReLU, Sigmoid, Tanh, sigmoid
+from repro.models.nn.losses import binary_cross_entropy, binary_cross_entropy_gradient, mean_squared_error
+from repro.models.nn.network import MLPClassifier, TrainingHistory
+from repro.models.nn.optim import SGD, Adam
+
+__all__ = [
+    "Adam",
+    "Dense",
+    "Dropout",
+    "MLPClassifier",
+    "ReLU",
+    "SGD",
+    "Sigmoid",
+    "Tanh",
+    "TrainingHistory",
+    "binary_cross_entropy",
+    "binary_cross_entropy_gradient",
+    "mean_squared_error",
+    "sigmoid",
+]

@@ -1,0 +1,183 @@
+"""Minimal dense neural-network layers implemented with numpy.
+
+The ER matchers in this library (stand-ins for DeepER, DeepMatcher and Ditto)
+are small multi-layer perceptrons over hand-engineered pair representations.
+The layers here implement just enough of the usual forward/backward machinery
+— dense affine maps, ReLU/Tanh/Sigmoid activations and inverted dropout — to
+train those matchers with mini-batch gradient descent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+
+class Layer(Protocol):
+    """Protocol for a differentiable layer."""
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute outputs for a batch of inputs."""
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` and accumulate parameter gradients."""
+
+    def parameters(self) -> list[np.ndarray]:
+        """Trainable parameter arrays (possibly empty)."""
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradient arrays aligned with :meth:`parameters`."""
+
+
+@dataclass
+class Dense:
+    """Fully connected affine layer ``y = x W + b``."""
+
+    in_features: int
+    out_features: int
+    seed: int = 0
+    weight: np.ndarray = field(init=False, repr=False)
+    bias: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        scale = np.sqrt(2.0 / max(self.in_features, 1))
+        self.weight = rng.standard_normal((self.in_features, self.out_features)) * scale
+        self.bias = np.zeros(self.out_features, dtype=np.float64)
+        self._grad_weight = np.zeros_like(self.weight)
+        self._grad_bias = np.zeros_like(self.bias)
+        self._inputs: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        self._inputs = inputs if training else None
+        return inputs @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None:
+            raise RuntimeError("Dense.backward called without a training forward pass")
+        self._grad_weight = self._inputs.T @ grad_output
+        self._grad_bias = grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self._grad_weight, self._grad_bias]
+
+
+@dataclass
+class ReLU:
+    """Rectified linear activation."""
+
+    _mask: np.ndarray | None = field(default=None, repr=False)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = inputs > 0
+        if training:
+            self._mask = mask
+        return inputs * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("ReLU.backward called without a training forward pass")
+        return grad_output * self._mask
+
+    def parameters(self) -> list[np.ndarray]:
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        return []
+
+
+@dataclass
+class Tanh:
+    """Hyperbolic-tangent activation."""
+
+    _outputs: np.ndarray | None = field(default=None, repr=False)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        outputs = np.tanh(inputs)
+        if training:
+            self._outputs = outputs
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._outputs is None:
+            raise RuntimeError("Tanh.backward called without a training forward pass")
+        return grad_output * (1.0 - self._outputs**2)
+
+    def parameters(self) -> list[np.ndarray]:
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        return []
+
+
+def sigmoid(values: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    positive = values >= 0
+    result = np.empty_like(values, dtype=np.float64)
+    result[positive] = 1.0 / (1.0 + np.exp(-values[positive]))
+    exp_values = np.exp(values[~positive])
+    result[~positive] = exp_values / (1.0 + exp_values)
+    return result
+
+
+@dataclass
+class Sigmoid:
+    """Logistic activation (used as the output layer of every matcher)."""
+
+    _outputs: np.ndarray | None = field(default=None, repr=False)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        outputs = sigmoid(inputs)
+        if training:
+            self._outputs = outputs
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._outputs is None:
+            raise RuntimeError("Sigmoid.backward called without a training forward pass")
+        return grad_output * self._outputs * (1.0 - self._outputs)
+
+    def parameters(self) -> list[np.ndarray]:
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        return []
+
+
+@dataclass
+class Dropout:
+    """Inverted dropout: active only during training."""
+
+    rate: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {self.rate}")
+        self._rng = np.random.default_rng(self.seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep_probability = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep_probability) / keep_probability
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+    def parameters(self) -> list[np.ndarray]:
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        return []

@@ -1,0 +1,35 @@
+"""Loss functions for the numpy neural substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPSILON = 1e-12
+
+
+def binary_cross_entropy(predictions: np.ndarray, targets: np.ndarray, positive_weight: float = 1.0) -> float:
+    """Mean binary cross-entropy, optionally up-weighting the positive class.
+
+    The benchmark candidate sets are imbalanced (roughly 1 match to 3-4
+    non-matches); ``positive_weight`` lets trainers compensate without
+    resampling.
+    """
+    predictions = np.clip(predictions, _EPSILON, 1.0 - _EPSILON)
+    weights = np.where(targets > 0.5, positive_weight, 1.0)
+    losses = -(targets * np.log(predictions) + (1.0 - targets) * np.log(1.0 - predictions))
+    return float(np.mean(weights * losses))
+
+
+def binary_cross_entropy_gradient(
+    predictions: np.ndarray, targets: np.ndarray, positive_weight: float = 1.0
+) -> np.ndarray:
+    """Gradient of the mean weighted BCE with respect to the predictions."""
+    predictions = np.clip(predictions, _EPSILON, 1.0 - _EPSILON)
+    weights = np.where(targets > 0.5, positive_weight, 1.0)
+    grad = (predictions - targets) / (predictions * (1.0 - predictions))
+    return weights * grad / predictions.shape[0]
+
+
+def mean_squared_error(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean squared error (used by the confidence-indication regressor tests)."""
+    return float(np.mean((predictions - targets) ** 2))

@@ -1,0 +1,185 @@
+"""A small feed-forward binary classifier built from the numpy layers.
+
+This is the trainable core shared by every ER matcher in the library.  It is a
+plain MLP with ReLU hidden layers, a sigmoid output, dropout regularisation,
+Adam optimisation and optional class re-weighting for the imbalanced ER
+candidate sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.models.nn.layers import Dense, Dropout, ReLU, Sigmoid
+from repro.models.nn.losses import binary_cross_entropy, binary_cross_entropy_gradient
+from repro.models.nn.optim import Adam
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training diagnostics collected by :meth:`MLPClassifier.fit`."""
+
+    losses: list[float] = field(default_factory=list)
+    validation_losses: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.losses)
+
+    def final_loss(self) -> float:
+        """Training loss of the last epoch (``nan`` when never trained)."""
+        return self.losses[-1] if self.losses else float("nan")
+
+
+@dataclass
+class MLPClassifier:
+    """Multi-layer perceptron binary classifier with a probability output."""
+
+    input_dim: int
+    hidden_dims: Sequence[int] = (32, 16)
+    dropout: float = 0.0
+    learning_rate: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._layers = []
+        previous = self.input_dim
+        for index, width in enumerate(self.hidden_dims):
+            self._layers.append(Dense(previous, width, seed=self.seed + index))
+            self._layers.append(ReLU())
+            if self.dropout > 0:
+                self._layers.append(Dropout(rate=self.dropout, seed=self.seed + 100 + index))
+            previous = width
+        self._layers.append(Dense(previous, 1, seed=self.seed + 999))
+        self._layers.append(Sigmoid())
+        self._optimizer = Adam(learning_rate=self.learning_rate)
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------------ forward
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Probability of the positive class for each row of ``inputs``."""
+        outputs = np.asarray(inputs, dtype=np.float64)
+        if outputs.ndim == 1:
+            outputs = outputs.reshape(1, -1)
+        for layer in self._layers:
+            outputs = layer.forward(outputs, training=training)
+        return outputs.reshape(-1)
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`forward` in inference mode."""
+        return self.forward(inputs, training=False)
+
+    # ----------------------------------------------------------------- training
+
+    def _backward(self, grad_output: np.ndarray) -> None:
+        grad = grad_output.reshape(-1, 1)
+        for layer in reversed(self._layers):
+            grad = layer.backward(grad)
+
+    def _apply_gradients(self) -> None:
+        parameters: list[np.ndarray] = []
+        gradients: list[np.ndarray] = []
+        for layer in self._layers:
+            parameters.extend(layer.parameters())
+            gradients.extend(layer.gradients())
+        self._optimizer.step(parameters, gradients)
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 60,
+        batch_size: int = 32,
+        positive_weight: float | None = None,
+        validation: tuple[np.ndarray, np.ndarray] | None = None,
+        shuffle: bool = True,
+        patience: int | None = None,
+    ) -> TrainingHistory:
+        """Train with mini-batch Adam on weighted binary cross-entropy.
+
+        ``positive_weight=None`` auto-balances classes from the label ratio.
+        Early stopping (``patience``) monitors the validation loss when a
+        validation set is supplied, otherwise the training loss.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"features and labels disagree on sample count: {features.shape[0]} vs {labels.shape[0]}"
+            )
+        if positive_weight is None:
+            positives = float(labels.sum())
+            negatives = float(labels.shape[0] - positives)
+            positive_weight = negatives / positives if positives > 0 else 1.0
+            positive_weight = float(np.clip(positive_weight, 1.0, 10.0))
+
+        rng = np.random.default_rng(self.seed)
+        best_monitor = float("inf")
+        epochs_without_improvement = 0
+
+        for _ in range(epochs):
+            order = np.arange(features.shape[0])
+            if shuffle:
+                rng.shuffle(order)
+            epoch_losses = []
+            for start in range(0, len(order), batch_size):
+                batch = order[start : start + batch_size]
+                batch_features = features[batch]
+                batch_labels = labels[batch]
+                predictions = self.forward(batch_features, training=True)
+                loss = binary_cross_entropy(predictions, batch_labels, positive_weight)
+                grad = binary_cross_entropy_gradient(predictions, batch_labels, positive_weight)
+                self._backward(grad)
+                self._apply_gradients()
+                epoch_losses.append(loss)
+            epoch_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+            self.history.losses.append(epoch_loss)
+
+            monitor = epoch_loss
+            if validation is not None:
+                valid_features, valid_labels = validation
+                valid_predictions = self.predict_proba(valid_features)
+                valid_loss = binary_cross_entropy(
+                    valid_predictions, np.asarray(valid_labels, dtype=np.float64), positive_weight
+                )
+                self.history.validation_losses.append(valid_loss)
+                monitor = valid_loss
+
+            if patience is not None:
+                if monitor < best_monitor - 1e-5:
+                    best_monitor = monitor
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                    if epochs_without_improvement >= patience:
+                        break
+        return self.history
+
+    # ------------------------------------------------------------- persistence
+
+    def get_weights(self) -> list[np.ndarray]:
+        """Copies of all trainable parameter arrays."""
+        weights = []
+        for layer in self._layers:
+            weights.extend(parameter.copy() for parameter in layer.parameters())
+        return weights
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        """Load parameter arrays previously produced by :meth:`get_weights`."""
+        expected = sum(len(layer.parameters()) for layer in self._layers)
+        if len(weights) != expected:
+            raise ValueError(f"expected {expected} weight arrays, got {len(weights)}")
+        cursor = 0
+        for layer in self._layers:
+            for parameter in layer.parameters():
+                replacement = np.asarray(weights[cursor], dtype=np.float64)
+                if replacement.shape != parameter.shape:
+                    raise ValueError(
+                        f"weight shape mismatch: expected {parameter.shape}, got {replacement.shape}"
+                    )
+                parameter[...] = replacement
+                cursor += 1

@@ -1,0 +1,59 @@
+"""Gradient-descent optimisers for the numpy neural substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    learning_rate: float = 0.05
+    momentum: float = 0.0
+    _velocity: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        """Apply one update in place to each parameter array."""
+        for index, (parameter, gradient) in enumerate(zip(parameters, gradients)):
+            if self.momentum > 0:
+                velocity = self._velocity.get(index)
+                if velocity is None:
+                    velocity = np.zeros_like(parameter)
+                velocity = self.momentum * velocity - self.learning_rate * gradient
+                self._velocity[index] = velocity
+                parameter += velocity
+            else:
+                parameter -= self.learning_rate * gradient
+
+
+@dataclass
+class Adam:
+    """Adam optimiser (Kingma & Ba), the default for all matcher training."""
+
+    learning_rate: float = 0.01
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    _first_moment: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _second_moment: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+    _step_count: int = 0
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        """Apply one Adam update in place to each parameter array."""
+        self._step_count += 1
+        for index, (parameter, gradient) in enumerate(zip(parameters, gradients)):
+            first = self._first_moment.get(index)
+            second = self._second_moment.get(index)
+            if first is None:
+                first = np.zeros_like(parameter)
+                second = np.zeros_like(parameter)
+            first = self.beta1 * first + (1.0 - self.beta1) * gradient
+            second = self.beta2 * second + (1.0 - self.beta2) * gradient**2
+            self._first_moment[index] = first
+            self._second_moment[index] = second
+            first_hat = first / (1.0 - self.beta1**self._step_count)
+            second_hat = second / (1.0 - self.beta2**self._step_count)
+            parameter -= self.learning_rate * first_hat / (np.sqrt(second_hat) + self.epsilon)

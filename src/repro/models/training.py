@@ -1,0 +1,101 @@
+"""Model zoo and training helpers used by examples, tests and benchmarks.
+
+The paper evaluates every explanation method against three matchers (DeepER,
+DeepMatcher, Ditto) on every dataset.  :func:`train_model` /
+:func:`train_model_zoo` centralise model construction and training so that the
+evaluation harness, the benchmarks and the examples all train matchers the
+same way, and :class:`ModelCache` memoises trained matchers across experiments
+(training the same model twice per table would dominate benchmark runtime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.data.dataset import ERDataset
+from repro.exceptions import ModelError
+from repro.models.base import ERModel, TrainingReport
+from repro.models.classical import ClassicalMatcher
+from repro.models.deeper import DeepERModel
+from repro.models.deepmatcher import DeepMatcherModel
+from repro.models.ditto import DittoModel
+
+#: The three matchers the paper evaluates, in the order of its tables.
+PAPER_MODEL_NAMES = ("deeper", "deepmatcher", "ditto")
+
+MODEL_FACTORIES: dict[str, Callable[..., ERModel]] = {
+    "deeper": DeepERModel,
+    "deepmatcher": DeepMatcherModel,
+    "ditto": DittoModel,
+    "classical": ClassicalMatcher,
+}
+
+
+def make_model(name: str, **overrides) -> ERModel:
+    """Instantiate an untrained matcher by name (``deeper`` / ``deepmatcher`` /
+    ``ditto`` / ``classical``)."""
+    try:
+        factory = MODEL_FACTORIES[name.lower()]
+    except KeyError as exc:
+        raise ModelError(f"unknown model name {name!r}; available: {sorted(MODEL_FACTORIES)}") from exc
+    return factory(**overrides)
+
+
+@dataclass
+class TrainedModel:
+    """A trained matcher together with its training report and test metrics."""
+
+    model: ERModel
+    report: TrainingReport
+    test_metrics: dict[str, float]
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+
+def train_model(model_name: str, dataset: ERDataset, fast: bool = False, **overrides) -> TrainedModel:
+    """Train one matcher on one dataset and evaluate it on the test split.
+
+    ``fast=True`` reduces the number of epochs, which benchmarks use when the
+    point of the experiment is the explainer rather than matcher quality.
+    """
+    if fast and "epochs" not in overrides:
+        overrides["epochs"] = 35
+    model = make_model(model_name, **overrides)
+    report = model.fit(dataset.train, dataset.valid)
+    test_metrics = model.evaluate(dataset.test.pairs) if len(dataset.test) else {}
+    return TrainedModel(model=model, report=report, test_metrics=test_metrics)
+
+
+def train_model_zoo(
+    dataset: ERDataset,
+    model_names: Sequence[str] = PAPER_MODEL_NAMES,
+    fast: bool = False,
+) -> dict[str, TrainedModel]:
+    """Train all requested matchers on one dataset."""
+    return {name: train_model(name, dataset, fast=fast) for name in model_names}
+
+
+@dataclass
+class ModelCache:
+    """Memoises trained matchers per (dataset, model, fast) key."""
+
+    fast: bool = True
+    _cache: dict[tuple[str, str, bool], TrainedModel] = field(default_factory=dict, repr=False)
+
+    def get(self, model_name: str, dataset: ERDataset) -> TrainedModel:
+        """Return a trained matcher, training it on first request."""
+        key = (dataset.name, model_name, self.fast)
+        if key not in self._cache:
+            self._cache[key] = train_model(model_name, dataset, fast=self.fast)
+        return self._cache[key]
+
+    def clear(self) -> None:
+        """Drop all cached models."""
+        self._cache.clear()
+
+
+#: Library-wide shared cache used by the benchmark harness.
+SHARED_MODEL_CACHE = ModelCache(fast=True)

@@ -1,0 +1,81 @@
+"""Hashed token embeddings: the "distributed representation" substrate.
+
+DeepER and DeepMatcher rely on pretrained word embeddings (GloVe / fastText).
+Those are unavailable offline, so we provide a deterministic *hashed random
+embedding* table: every token maps to a reproducible pseudo-random unit vector.
+Tokens shared by two records map to identical vectors, so averaged record /
+attribute embeddings still expose the content-overlap signal the downstream
+matchers and explainers need — which is the behaviour the paper's experiments
+exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.text.tokenize import tokenize
+from repro.text.vectorize import stable_token_hash
+
+
+@dataclass
+class HashedEmbeddings:
+    """Deterministic per-token embedding vectors generated from token hashes."""
+
+    dimension: int = 48
+    seed: int = 17
+    _cache: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+
+    def vector(self, token: str) -> np.ndarray:
+        """Embedding vector of a single token (unit norm, deterministic)."""
+        cached = self._cache.get(token)
+        if cached is not None:
+            return cached
+        token_seed = stable_token_hash(token, seed=self.seed) % (2**32)
+        rng = np.random.default_rng(token_seed)
+        vector = rng.standard_normal(self.dimension)
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        self._cache[token] = vector
+        return vector
+
+    def embed_text(self, text: str, weights: dict[str, float] | None = None) -> np.ndarray:
+        """Weighted average embedding of all tokens in ``text``.
+
+        Returns the zero vector for empty / missing text, which downstream
+        models interpret as "no information for this attribute".
+        """
+        tokens = tokenize(text)
+        if not tokens:
+            return np.zeros(self.dimension, dtype=np.float64)
+        accumulator = np.zeros(self.dimension, dtype=np.float64)
+        total_weight = 0.0
+        for token in tokens:
+            weight = 1.0 if weights is None else weights.get(token, 1.0)
+            accumulator += weight * self.vector(token)
+            total_weight += weight
+        if total_weight == 0:
+            return np.zeros(self.dimension, dtype=np.float64)
+        averaged = accumulator / total_weight
+        norm = np.linalg.norm(averaged)
+        if norm > 0:
+            averaged /= norm
+        return averaged
+
+    def embed_values(self, values: list[str]) -> np.ndarray:
+        """Stack of per-value embeddings: shape ``(len(values), dimension)``."""
+        if not values:
+            return np.zeros((0, self.dimension), dtype=np.float64)
+        return np.vstack([self.embed_text(value) for value in values])
+
+    def similarity(self, left_text: str, right_text: str) -> float:
+        """Cosine similarity between the averaged embeddings of two texts."""
+        left = self.embed_text(left_text)
+        right = self.embed_text(right_text)
+        left_norm = np.linalg.norm(left)
+        right_norm = np.linalg.norm(right)
+        if left_norm == 0 or right_norm == 0:
+            return 0.0
+        return float(np.dot(left, right) / (left_norm * right_norm))

@@ -1,0 +1,76 @@
+"""Tokenisation utilities shared by models, explainers and blocking.
+
+The benchmark records are short, noisy product / bibliographic descriptions.
+A simple lower-casing word tokenizer with optional punctuation stripping and
+q-gram generation is sufficient and keeps the whole pipeline dependency-free.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+_WORD_RE = re.compile(r"[a-z0-9]+(?:[\.'-][a-z0-9]+)*")
+
+
+def tokenize(text: str, lowercase: bool = True) -> list[str]:
+    """Split ``text`` into word tokens.
+
+    Tokens are maximal runs of alphanumerics, optionally joined by ``.``,
+    ``'`` or ``-`` (so model numbers like ``dav-is50`` stay together).
+    """
+    if not text:
+        return []
+    if lowercase:
+        text = text.lower()
+    return _WORD_RE.findall(text)
+
+
+def whitespace_tokenize(text: str) -> list[str]:
+    """Plain whitespace split, preserving punctuation.
+
+    The paper's perturbation function replaces *sequences of tokens separated
+    by white space*; this tokenizer is the faithful counterpart used by
+    :mod:`repro.certa.augmentation`.
+    """
+    if not text:
+        return []
+    return text.split()
+
+
+def qgrams(text: str, q: int = 3, pad: bool = True) -> list[str]:
+    """Character q-grams of ``text`` (padded with ``#`` by default)."""
+    if not text:
+        return []
+    text = text.lower()
+    if pad:
+        text = "#" * (q - 1) + text + "#" * (q - 1)
+    if len(text) < q:
+        return [text]
+    return [text[i : i + q] for i in range(len(text) - q + 1)]
+
+
+def token_ngrams(tokens: Iterable[str], n: int = 2) -> list[tuple[str, ...]]:
+    """Consecutive token n-grams, used by the Ditto-style serialisation model."""
+    tokens = list(tokens)
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if len(tokens) < n:
+        return []
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def iter_sentences(text: str) -> Iterator[str]:
+    """Very small sentence splitter (on ``.``, ``;``, ``|``) used for summaries."""
+    for chunk in re.split(r"[.;|]+", text):
+        chunk = chunk.strip()
+        if chunk:
+            yield chunk
+
+
+def truncate_tokens(text: str, max_tokens: int) -> str:
+    """Keep at most ``max_tokens`` whitespace tokens of ``text``."""
+    tokens = whitespace_tokenize(text)
+    if len(tokens) <= max_tokens:
+        return text
+    return " ".join(tokens[:max_tokens])

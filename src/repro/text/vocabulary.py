@@ -1,0 +1,101 @@
+"""Vocabulary construction and frequency statistics over record collections."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.data.records import Record
+from repro.text.tokenize import tokenize
+
+
+@dataclass
+class Vocabulary:
+    """A token vocabulary with frequencies and integer ids.
+
+    Index ``0`` is reserved for unknown / out-of-vocabulary tokens.
+    """
+
+    min_frequency: int = 1
+    max_size: int | None = None
+    _counts: Counter = field(default_factory=Counter, repr=False)
+    _index: dict[str, int] = field(default_factory=dict, repr=False)
+
+    UNKNOWN_TOKEN = "<unk>"
+
+    def add_text(self, text: str) -> None:
+        """Count tokens of one text fragment."""
+        self._counts.update(tokenize(text))
+        self._index.clear()
+
+    def add_record(self, record: Record) -> None:
+        """Count tokens of all attribute values of a record."""
+        for value in record.values.values():
+            self.add_text(value)
+
+    def add_records(self, records: Iterable[Record]) -> None:
+        """Count tokens of many records."""
+        for record in records:
+            self.add_record(record)
+
+    def build(self) -> "Vocabulary":
+        """Finalise the token -> id mapping, applying frequency/size limits."""
+        ordered = [
+            token
+            for token, count in self._counts.most_common()
+            if count >= self.min_frequency
+        ]
+        if self.max_size is not None:
+            ordered = ordered[: self.max_size]
+        self._index = {self.UNKNOWN_TOKEN: 0}
+        for position, token in enumerate(ordered, start=1):
+            self._index[token] = position
+        return self
+
+    def _ensure_built(self) -> None:
+        if not self._index:
+            self.build()
+
+    def __len__(self) -> int:
+        self._ensure_built()
+        return len(self._index)
+
+    def __contains__(self, token: object) -> bool:
+        self._ensure_built()
+        return token in self._index
+
+    def __iter__(self) -> Iterator[str]:
+        self._ensure_built()
+        return iter(self._index)
+
+    def id_of(self, token: str) -> int:
+        """Integer id of ``token`` (0 for unknown tokens)."""
+        self._ensure_built()
+        return self._index.get(token, 0)
+
+    def encode(self, text: str) -> list[int]:
+        """Token ids of a text fragment."""
+        return [self.id_of(token) for token in tokenize(text)]
+
+    def frequency(self, token: str) -> int:
+        """Raw frequency of ``token`` in the corpus the vocabulary was built from."""
+        return self._counts.get(token, 0)
+
+    def document_frequency_weights(self, total_documents: int) -> dict[str, float]:
+        """Smoothed IDF-style weights for every vocabulary token."""
+        import math
+
+        self._ensure_built()
+        weights = {}
+        for token in self._index:
+            if token == self.UNKNOWN_TOKEN:
+                weights[token] = 0.0
+                continue
+            frequency = min(self._counts.get(token, 0), total_documents)
+            weights[token] = math.log((1 + total_documents) / (1 + frequency)) + 1.0
+        return weights
+
+    def most_common(self, count: int = 20) -> list[tuple[str, int]]:
+        """Most frequent tokens and their counts."""
+        return self._counts.most_common(count)

@@ -1,0 +1,92 @@
+"""Tests for repro.data.blocking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.blocking import (
+    candidate_pairs,
+    overlap_score,
+    record_blocking_tokens,
+    token_blocking,
+    top_k_neighbours,
+)
+
+
+class TestTokenBlocking:
+    def test_matching_records_share_a_block(self, sources):
+        left, right = sources
+        result = token_blocking(left, right)
+        assert ("L0", "R0") in result.pairs  # both contain "sony" / "bravia"
+
+    def test_reduction_ratio_in_unit_interval(self, sources):
+        left, right = sources
+        result = token_blocking(left, right)
+        assert 0.0 <= result.reduction_ratio <= 1.0
+
+    def test_short_tokens_are_ignored(self, sources):
+        left, right = sources
+        result = token_blocking(left, right, min_token_length=50)
+        assert result.pairs == ()
+
+    def test_pairs_are_sorted_and_unique(self, sources):
+        left, right = sources
+        result = token_blocking(left, right)
+        assert list(result.pairs) == sorted(set(result.pairs))
+
+
+class TestOverlap:
+    def test_identical_records_have_overlap_one(self, sources):
+        left, _ = sources
+        record = left.get("L0")
+        assert overlap_score(record, record) == pytest.approx(1.0)
+
+    def test_disjoint_records_have_overlap_zero(self, sources):
+        left, right = sources
+        assert overlap_score(left.get("L4"), right.get("R5")) == pytest.approx(0.0)
+
+    def test_blocking_tokens_lowercase_and_filtered(self, sources):
+        left, _ = sources
+        tokens = record_blocking_tokens(left.get("L0"))
+        assert "sony" in tokens
+        assert all(len(token) >= 2 for token in tokens)
+
+
+class TestTopKNeighbours:
+    def test_most_similar_record_ranks_first(self, sources):
+        left, right = sources
+        neighbours = top_k_neighbours(left.get("L0"), right.records, k=3)
+        assert neighbours[0].record_id == "R0"
+
+    def test_exclusions_are_respected(self, sources):
+        left, right = sources
+        neighbours = top_k_neighbours(left.get("L0"), right.records, k=3, exclude_ids=["R0"])
+        assert all(record.record_id != "R0" for record in neighbours)
+
+    def test_k_limits_result_size(self, sources):
+        left, right = sources
+        assert len(top_k_neighbours(left.get("L0"), right.records, k=2)) == 2
+
+
+class TestCandidatePairs:
+    def test_all_matches_are_kept_as_positives(self, sources):
+        left, right = sources
+        matches = [("L0", "R0"), ("L1", "R1")]
+        pairs = candidate_pairs(left, right, matches, negatives_per_match=2)
+        positives = {pair.pair_id for pair in pairs if pair.label}
+        assert positives == set(matches)
+
+    def test_negatives_are_not_matches(self, sources):
+        left, right = sources
+        matches = [("L0", "R0"), ("L1", "R1")]
+        pairs = candidate_pairs(left, right, matches, negatives_per_match=2)
+        for pair in pairs:
+            if not pair.label:
+                assert pair.pair_id not in set(matches)
+
+    def test_negative_budget_is_respected(self, sources):
+        left, right = sources
+        matches = [("L0", "R0")]
+        pairs = candidate_pairs(left, right, matches, negatives_per_match=3)
+        negatives = [pair for pair in pairs if not pair.label]
+        assert len(negatives) <= 3

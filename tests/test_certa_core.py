@@ -1,0 +1,259 @@
+"""Tests for CERTA's perturbation, augmentation, triangle search and explainer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.certa.augmentation import augment_records, record_variants, value_token_drops
+from repro.certa.explainer import CertaExplainer
+from repro.certa.perturbation import perturb_record, perturbed_pair
+from repro.certa.tokens import token_saliency
+from repro.certa.triangles import find_open_triangles
+from repro.data.records import RecordPair
+from repro.data.table import DataSource
+from repro.exceptions import ExplanationError, TriangleError
+from repro.models.base import MATCH_THRESHOLD
+
+from tests.helpers import LEFT_SCHEMA, make_record
+
+
+class TestPerturbation:
+    def test_perturb_record_copies_requested_attributes(self, sources):
+        left, _ = sources
+        free, support = left.get("L0"), left.get("L1")
+        perturbed = perturb_record(free, support, ["name"])
+        assert perturbed.value("name") == support.value("name")
+        assert perturbed.value("description") == free.value("description")
+
+    def test_perturb_record_unknown_attribute_raises(self, sources):
+        left, _ = sources
+        with pytest.raises(ExplanationError):
+            perturb_record(left.get("L0"), left.get("L1"), ["bogus"])
+
+    def test_perturbed_pair_left_side(self, sources, match_pair):
+        left, _ = sources
+        support = left.get("L2")
+        perturbed = perturbed_pair(match_pair, "left", support, ["name", "price"])
+        assert perturbed.left.value("name") == support.value("name")
+        assert perturbed.right is match_pair.right
+
+    def test_perturbed_pair_right_side(self, sources, match_pair):
+        _, right = sources
+        support = right.get("R2")
+        perturbed = perturbed_pair(match_pair, "right", support, ["description"])
+        assert perturbed.right.value("description") == support.value("description")
+        assert perturbed.left is match_pair.left
+
+    def test_perturbed_pair_invalid_side(self, sources, match_pair):
+        left, _ = sources
+        with pytest.raises(ExplanationError):
+            perturbed_pair(match_pair, "middle", left.get("L1"), ["name"])
+
+
+class TestAugmentation:
+    def test_value_token_drops_variants(self):
+        variants = value_token_drops("a b c")
+        assert "b c" in variants
+        assert "a b" in variants
+        assert "a b c" not in variants
+
+    def test_value_token_drops_single_token(self):
+        assert value_token_drops("single") == []
+
+    def test_value_token_drops_respects_max_drop(self):
+        variants = value_token_drops("a b c d e", max_drop=1)
+        assert set(variants) == {"b c d e", "a b c d"}
+
+    def test_record_variants_change_something(self):
+        record = make_record("L0", "sony bravia theater", "black micro system", "10")
+        variants = list(record_variants(record, max_variants=5, rng=random.Random(0)))
+        assert variants
+        for variant in variants:
+            assert dict(variant.values) != dict(record.values)
+
+    def test_record_variants_cap(self):
+        record = make_record("L0", "sony bravia theater", "black micro system", "10")
+        variants = list(record_variants(record, max_variants=3, rng=random.Random(0)))
+        assert len(variants) <= 3
+
+    def test_augment_records_produces_requested_count(self, sources):
+        left, _ = sources
+        augmented = augment_records(left.records, needed=12, rng=random.Random(0))
+        assert len(augmented) == 12
+
+    def test_augment_records_small_need(self, sources):
+        left, _ = sources
+        assert len(augment_records(left.records, needed=1, rng=random.Random(0))) == 1
+
+
+class TestTriangleSearch:
+    def test_supports_have_opposite_prediction(self, similarity_model, sources, match_pair):
+        left, right = sources
+        result = find_open_triangles(similarity_model, match_pair, left, right, count=6, seed=0)
+        original = similarity_model.predict_match(match_pair)
+        for triangle in result.triangles:
+            support_prediction = similarity_model.predict_match(triangle.support_pair())
+            assert support_prediction != original
+
+    def test_supports_come_from_the_free_side(self, similarity_model, sources, match_pair):
+        left, right = sources
+        result = find_open_triangles(similarity_model, match_pair, left, right, count=6, seed=0)
+        for triangle in result.triangles:
+            if triangle.side == "left":
+                assert triangle.support.source == "U" or triangle.augmented
+            else:
+                assert triangle.support.source == "V" or triangle.augmented
+
+    def test_free_and_pivot_records(self, similarity_model, sources, match_pair):
+        left, right = sources
+        result = find_open_triangles(similarity_model, match_pair, left, right, count=4, seed=0)
+        for triangle in result.triangles:
+            if triangle.side == "left":
+                assert triangle.free_record is match_pair.left
+                assert triangle.pivot_record is match_pair.right
+            else:
+                assert triangle.free_record is match_pair.right
+                assert triangle.pivot_record is match_pair.left
+
+    def test_non_match_prediction_finds_matching_supports(self, similarity_model, sources, non_match_pair):
+        left, right = sources
+        # non_match_pair is (L4, R4): garmin gps vs netgear router — predicted non-match.
+        result = find_open_triangles(similarity_model, non_match_pair, left, right, count=4, seed=0)
+        for triangle in result.triangles:
+            assert similarity_model.predict_pair(triangle.support_pair()) > MATCH_THRESHOLD
+
+    def test_invalid_count_rejected(self, similarity_model, sources, match_pair):
+        left, right = sources
+        with pytest.raises(TriangleError):
+            find_open_triangles(similarity_model, match_pair, left, right, count=0)
+
+    def test_empty_source_rejected(self, similarity_model, sources, match_pair):
+        left, _ = sources
+        empty = DataSource(name="empty", schema=LEFT_SCHEMA, records=[])
+        with pytest.raises(TriangleError):
+            find_open_triangles(similarity_model, match_pair, left, empty, count=4)
+
+    def test_augmentation_fallback_fills_shortfall(self, similarity_model, sources, match_pair):
+        left, right = sources
+        natural = find_open_triangles(
+            similarity_model, match_pair, left, right, count=40, seed=0, allow_augmentation=False
+        )
+        augmented = find_open_triangles(
+            similarity_model, match_pair, left, right, count=40, seed=0, allow_augmentation=True
+        )
+        assert len(augmented.triangles) >= len(natural.triangles)
+
+    def test_force_augmentation_uses_only_augmented_supports(self, similarity_model, sources, match_pair):
+        left, right = sources
+        result = find_open_triangles(
+            similarity_model, match_pair, left, right, count=6, seed=0, force_augmentation=True
+        )
+        assert all(triangle.augmented for triangle in result.triangles)
+
+
+class TestCertaExplainer:
+    @pytest.fixture()
+    def explainer(self, similarity_model, sources):
+        left, right = sources
+        return CertaExplainer(similarity_model, left, right, num_triangles=8, seed=0)
+
+    def test_saliency_covers_all_attributes(self, explainer, match_pair):
+        explanation = explainer.explain(match_pair)
+        assert set(explanation.scores) == {
+            "left_name", "left_description", "left_price",
+            "right_name", "right_description", "right_price",
+        }
+
+    def test_saliency_scores_are_probabilities(self, explainer, match_pair):
+        explanation = explainer.explain(match_pair)
+        assert all(0.0 <= score <= 1.0 for score in explanation.scores.values())
+
+    def test_counterfactual_examples_flip(self, explainer, match_pair):
+        explanation = explainer.explain_counterfactual(match_pair)
+        assert explanation.examples
+        for example in explanation.examples:
+            assert example.flipped
+
+    def test_counterfactual_attribute_set_matches_examples(self, explainer, match_pair):
+        explanation = explainer.explain_counterfactual(match_pair)
+        for example in explanation.examples:
+            assert example.changed_attributes == explanation.attribute_set
+
+    def test_explain_full_bookkeeping(self, explainer, match_pair):
+        explanation = explainer.explain_full(match_pair)
+        assert explanation.triangles_used > 0
+        assert explanation.flips > 0
+        assert explanation.performed_predictions() > 0
+        assert 0.0 <= explanation.best_sufficiency() <= 1.0
+        assert 0.0 <= explanation.average_necessity() <= 1.0
+
+    def test_non_match_explanation(self, explainer, labelled_pairs):
+        non_match = labelled_pairs[4]  # (L0, R1): predicted non-match by similarity model
+        explanation = explainer.explain_full(non_match)
+        assert explanation.prediction < 0.5
+        for example in explanation.counterfactual.examples:
+            assert example.score > 0.5
+
+    def test_monotone_and_exhaustive_agree_on_flip_counts_for_monotone_model(
+        self, similarity_model, sources, match_pair
+    ):
+        left, right = sources
+        monotone = CertaExplainer(similarity_model, left, right, num_triangles=6, monotone=True, seed=1)
+        exhaustive = CertaExplainer(similarity_model, left, right, num_triangles=6, monotone=False, seed=1)
+        first = monotone.explain_full(match_pair)
+        second = exhaustive.explain_full(match_pair)
+        assert first.flips == pytest.approx(second.flips, abs=first.flips * 0.25 + 1)
+        assert second.saved_predictions() == 0
+        assert first.saved_predictions() >= 0
+
+    def test_strict_mode_raises_without_triangles(self, constant_model, sources, match_pair):
+        left, right = sources
+        explainer = CertaExplainer(constant_model, left, right, num_triangles=4, strict=True, seed=0)
+        with pytest.raises(ExplanationError):
+            explainer.explain_full(match_pair)
+
+    def test_lenient_mode_returns_degenerate_explanation(self, constant_model, sources, match_pair):
+        left, right = sources
+        explainer = CertaExplainer(constant_model, left, right, num_triangles=4, strict=False, seed=0)
+        explanation = explainer.explain_full(match_pair)
+        assert explanation.triangles_used == 0
+        assert all(score == 0.0 for score in explanation.saliency.scores.values())
+        assert explanation.counterfactual.examples == []
+
+    def test_more_triangles_never_reduces_triangles_used(self, explainer, similarity_model, sources, match_pair):
+        left, right = sources
+        small = CertaExplainer(similarity_model, left, right, num_triangles=4, seed=0)
+        large = CertaExplainer(similarity_model, left, right, num_triangles=10, seed=0)
+        assert large.explain_full(match_pair).triangles_used >= small.explain_full(match_pair).triangles_used
+
+
+class TestTokenSaliency:
+    def test_token_scores_align_with_tokens(self, similarity_model, sources, match_pair):
+        left, right = sources
+        result = find_open_triangles(similarity_model, match_pair, left, right, count=6, seed=0)
+        saliency = token_saliency(similarity_model, match_pair, "left_description", result.triangles)
+        assert len(saliency.tokens) == len(saliency.scores)
+        assert saliency.tokens == match_pair.left.value("description").split()
+
+    def test_scores_are_probabilities(self, similarity_model, sources, match_pair):
+        left, right = sources
+        result = find_open_triangles(similarity_model, match_pair, left, right, count=6, seed=0)
+        saliency = token_saliency(similarity_model, match_pair, "left_name", result.triangles)
+        assert all(0.0 <= score <= 1.0 for score in saliency.scores)
+
+    def test_empty_attribute_yields_empty_saliency(self, similarity_model, sources, match_pair):
+        left, right = sources
+        masked = match_pair.with_left(match_pair.left.mask(["price"]))
+        result = find_open_triangles(similarity_model, masked, left, right, count=4, seed=0)
+        saliency = token_saliency(similarity_model, masked, "left_price", result.triangles)
+        assert saliency.tokens == []
+        assert saliency.top_tokens(3) == []
+
+    def test_ranked_order(self, similarity_model, sources, match_pair):
+        left, right = sources
+        result = find_open_triangles(similarity_model, match_pair, left, right, count=6, seed=0)
+        saliency = token_saliency(similarity_model, match_pair, "left_description", result.triangles)
+        ranked_scores = [score for _, score in saliency.ranked()]
+        assert ranked_scores == sorted(ranked_scores, reverse=True)

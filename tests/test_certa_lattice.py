@@ -1,0 +1,206 @@
+"""Tests for repro.certa.lattice, including the paper's worked example."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.certa.lattice import (
+    AttributeLattice,
+    explore_lattice,
+    monotonicity_violations,
+)
+from repro.exceptions import LatticeError
+
+
+class TestLatticeConstruction:
+    def test_node_count_is_powerset_minus_empty(self):
+        lattice = AttributeLattice(["N", "D", "P"])
+        assert len(lattice) == 7
+
+    def test_empty_attribute_list_rejected(self):
+        with pytest.raises(LatticeError):
+            AttributeLattice([])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(LatticeError):
+            AttributeLattice(["a", "a"])
+
+    def test_levels_are_ordered_by_size(self):
+        lattice = AttributeLattice(["a", "b", "c"])
+        levels = lattice.levels()
+        assert [len(level) for level in levels] == [3, 3, 1]
+
+    def test_supersets_and_subsets(self):
+        lattice = AttributeLattice(["a", "b", "c"])
+        supersets = {frozenset(node.attributes) for node in lattice.supersets(["a"])}
+        assert supersets == {frozenset("ab"), frozenset("ac"), frozenset("abc")}
+        subsets = {frozenset(node.attributes) for node in lattice.subsets(["a", "b"])}
+        assert subsets == {frozenset("a"), frozenset("b")}
+
+    def test_node_lookup_unknown_set(self):
+        lattice = AttributeLattice(["a"])
+        with pytest.raises(LatticeError):
+            lattice.node(["b"])
+
+    def test_contains(self):
+        lattice = AttributeLattice(["a", "b"])
+        assert ["a", "b"] in lattice
+        assert ["c"] not in lattice
+
+
+class TestTaggingAndPropagation:
+    def test_propagate_flip_marks_supersets_as_inferred(self):
+        lattice = AttributeLattice(["a", "b", "c"])
+        lattice.tag(["a"], True)
+        inferred = lattice.propagate_flip(["a"])
+        assert inferred == 3
+        assert lattice.node(["a", "b"]).flip is True
+        assert lattice.node(["a", "b"]).evaluated is False
+
+    def test_propagate_does_not_overwrite_tested_nodes(self):
+        lattice = AttributeLattice(["a", "b"])
+        lattice.tag(["a", "b"], False, evaluated=True)
+        lattice.tag(["a"], True)
+        lattice.propagate_flip(["a"])
+        assert lattice.node(["a", "b"]).flip is False
+
+    def test_minimal_flipping_antichain(self):
+        lattice = AttributeLattice(["N", "D", "P"])
+        for subset in (["N"], ["D"], ["N", "D"], ["N", "P"], ["D", "P"], ["N", "D", "P"]):
+            lattice.tag(subset, True)
+        lattice.tag(["P"], False)
+        antichain = lattice.minimal_flipping_antichain()
+        assert antichain == [frozenset({"D"}), frozenset({"N"})]
+
+    def test_candidate_sets_exclude_full_set(self):
+        lattice = AttributeLattice(["a", "b"])
+        lattice.tag(["a"], True)
+        lattice.tag(["a", "b"], True)
+        assert frozenset({"a", "b"}) not in lattice.candidate_sets()
+        assert frozenset({"a"}) in lattice.candidate_sets()
+
+
+class TestExploration:
+    def test_monotone_exploration_saves_predictions(self):
+        lattice = AttributeLattice(["a", "b", "c", "d"])
+        stats = explore_lattice(lattice, lambda attrs: "a" in attrs, monotone=True)
+        assert stats.performed_predictions < stats.expected_predictions
+        assert stats.saved_predictions > 0
+
+    def test_exhaustive_exploration_tags_every_node(self):
+        lattice = AttributeLattice(["a", "b", "c"])
+        stats = explore_lattice(lattice, lambda attrs: len(attrs) >= 2, monotone=False)
+        assert all(node.tagged for node in lattice.nodes())
+        # Every node except the (never-evaluated) full set is tested explicitly.
+        assert stats.performed_predictions == stats.expected_predictions
+        assert lattice.node(["a", "b", "c"]).evaluated is False
+        assert lattice.node(["a", "b", "c"]).flip is True
+
+    def test_monotone_and_exhaustive_agree_for_monotone_functions(self):
+        def truly_monotone(attrs):
+            return "a" in attrs or len(attrs) >= 3
+
+        monotone_lattice = AttributeLattice(["a", "b", "c", "d"])
+        explore_lattice(monotone_lattice, truly_monotone, monotone=True)
+        exhaustive_lattice = AttributeLattice(["a", "b", "c", "d"])
+        explore_lattice(exhaustive_lattice, truly_monotone, monotone=False)
+        for node in monotone_lattice.nodes():
+            assert node.flip == exhaustive_lattice.node(node.attributes).flip
+
+    def test_monotonicity_violations_detects_non_monotone_function(self):
+        # Flips on {a} but NOT on {a, b}: violates monotonicity.
+        def non_monotone(attrs):
+            return attrs == frozenset({"a"})
+
+        _, __, saved, wrong = monotonicity_violations(["a", "b", "c"], non_monotone)
+        assert saved > 0
+        assert wrong > 0
+
+    def test_monotonicity_violations_zero_for_monotone_function(self):
+        _, __, saved, wrong = monotonicity_violations(["a", "b", "c"], lambda attrs: "a" in attrs)
+        assert wrong == 0
+        assert saved > 0
+
+    @given(st.integers(min_value=2, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_nothing_flips_means_every_node_is_evaluated(self, width):
+        attributes = [f"a{i}" for i in range(width)]
+        lattice = AttributeLattice(attributes)
+        stats = explore_lattice(lattice, lambda attrs: False, monotone=True)
+        assert stats.performed_predictions == stats.expected_predictions
+        assert lattice.flipped_nodes() == []
+
+    @given(st.sets(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=2))
+    @settings(max_examples=20, deadline=None)
+    def test_flip_threshold_functions_yield_consistent_antichain(self, trigger):
+        # gamma(A) = trigger <= A  is monotone by construction.
+        lattice = AttributeLattice(["a", "b", "c", "d"])
+        explore_lattice(lattice, lambda attrs: trigger <= attrs, monotone=True)
+        antichain = lattice.minimal_flipping_antichain()
+        assert antichain == [frozenset(trigger)]
+
+
+class TestPaperWorkedExample:
+    """Reproduce the counters of the Section 4 worked example (Figure 9)."""
+
+    LATTICE_TAGS = {
+        # per support record: attribute sets that flip
+        "w1": [{"N"}, {"D"}, {"N", "D"}, {"N", "P"}, {"D", "P"}, {"N", "D", "P"}],
+        "w2": [{"N"}, {"N", "D"}, {"N", "P"}, {"D", "P"}, {"N", "D", "P"}],
+        "w3": [{"N"}, {"N", "D"}, {"N", "P"}, {"N", "D", "P"}],
+        "w4": [{"N", "D"}, {"N", "P"}, {"D", "P"}, {"N", "D", "P"}],
+    }
+
+    def _tagged_lattices(self):
+        lattices = {}
+        for name, flips in self.LATTICE_TAGS.items():
+            lattice = AttributeLattice(["N", "D", "P"])
+            flip_sets = [frozenset(f) for f in flips]
+            explore_lattice(lattice, lambda attrs, fs=flip_sets: attrs in fs, monotone=False)
+            lattices[name] = lattice
+        return lattices
+
+    def test_total_flips_is_19(self):
+        lattices = self._tagged_lattices()
+        total = sum(len(lattice.flipped_nodes()) for lattice in lattices.values())
+        assert total == 19
+
+    def test_necessity_counts_match_paper(self):
+        lattices = self._tagged_lattices()
+        counts = {"N": 0, "D": 0, "P": 0}
+        for lattice in lattices.values():
+            for node in lattice.flipped_nodes():
+                for attribute in node.attributes:
+                    counts[attribute] += 1
+        assert counts["N"] == 15
+        assert counts["P"] == 11
+        # The paper reports 13 for D; direct enumeration of Figure 9 gives 12.
+        assert counts["D"] in (12, 13)
+
+    def test_sufficiency_of_singletons(self):
+        lattices = self._tagged_lattices()
+        chi_n = sum(1 for lattice in lattices.values() if lattice.node(["N"]).flip) / 4
+        chi_d = sum(1 for lattice in lattices.values() if lattice.node(["D"]).flip) / 4
+        chi_p = sum(1 for lattice in lattices.values() if lattice.node(["P"]).flip) / 4
+        assert chi_n == pytest.approx(3 / 4)
+        assert chi_d == pytest.approx(1 / 4)
+        assert chi_p == 0.0
+
+    def test_sufficiency_of_pairs_and_golden_set(self):
+        lattices = self._tagged_lattices()
+
+        def chi(attrs):
+            return sum(1 for lattice in lattices.values() if lattice.node(attrs).flip) / 4
+
+        assert chi(["N", "D"]) == 1.0
+        assert chi(["N", "P"]) == 1.0
+        assert chi(["D", "P"]) == pytest.approx(3 / 4)
+        # The golden set must be one of the size-2 sets with chi = 1 (not the full set).
+        candidates = {frozenset({"N", "D"}), frozenset({"N", "P"})}
+        best = max(
+            (frozenset(a) for a in (["N"], ["D"], ["P"], ["N", "D"], ["N", "P"], ["D", "P"])),
+            key=lambda attrs: (chi(attrs), -len(attrs)),
+        )
+        assert best in candidates

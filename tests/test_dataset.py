@@ -1,0 +1,123 @@
+"""Tests for repro.data.dataset: PairSplit, ERDataset, split_pairs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.dataset import ERDataset, PairSplit, build_dataset, split_pairs
+from repro.data.records import RecordPair
+from repro.exceptions import DatasetError
+
+from tests.helpers import make_record, toy_pairs, toy_sources
+
+
+class TestPairSplit:
+    def test_labels(self, labelled_pairs):
+        split = PairSplit("train", labelled_pairs)
+        assert split.labels() == [pair.label for pair in labelled_pairs]
+
+    def test_labels_raise_on_unlabelled(self, labelled_pairs):
+        unlabelled = labelled_pairs[0].with_label(None)
+        split = PairSplit("train", [unlabelled])
+        with pytest.raises(DatasetError):
+            split.labels()
+
+    def test_positives_and_negatives(self, labelled_pairs):
+        split = PairSplit("train", labelled_pairs)
+        assert len(split.positives()) == 4
+        assert len(split.negatives()) == 6
+
+    def test_match_ratio(self, labelled_pairs):
+        split = PairSplit("train", labelled_pairs)
+        assert split.match_ratio() == pytest.approx(0.4)
+
+    def test_match_ratio_empty_split(self):
+        assert PairSplit("empty").match_ratio() == 0.0
+
+    def test_sample_unbalanced(self, labelled_pairs):
+        split = PairSplit("train", labelled_pairs)
+        assert len(split.sample(3, rng=random.Random(0))) == 3
+
+    def test_sample_more_than_population(self, labelled_pairs):
+        split = PairSplit("train", labelled_pairs)
+        assert len(split.sample(100)) == len(labelled_pairs)
+
+    def test_sample_balanced_has_both_classes(self, labelled_pairs):
+        split = PairSplit("train", labelled_pairs)
+        sampled = split.sample(4, rng=random.Random(1), balanced=True)
+        labels = {pair.label for pair in sampled}
+        assert labels == {True, False}
+
+
+class TestSplitPairs:
+    def test_partition_covers_everything(self, labelled_pairs):
+        train, valid, test = split_pairs(labelled_pairs, rng=random.Random(0))
+        assert len(train) + len(valid) + len(test) == len(labelled_pairs)
+
+    def test_no_overlap_between_splits(self, labelled_pairs):
+        train, valid, test = split_pairs(labelled_pairs, rng=random.Random(0))
+        ids = [pair.pair_id for split in (train, valid, test) for pair in split]
+        assert len(ids) == len(set(ids))
+
+    def test_stratification_keeps_positives_in_every_split(self, labelled_pairs):
+        train, valid, test = split_pairs(
+            labelled_pairs, train_fraction=0.5, valid_fraction=0.25, rng=random.Random(3)
+        )
+        assert len(train.positives()) >= 1
+        assert len(test.positives()) >= 1
+
+    def test_invalid_train_fraction_rejected(self, labelled_pairs):
+        with pytest.raises(DatasetError):
+            split_pairs(labelled_pairs, train_fraction=1.5)
+
+    def test_invalid_fraction_sum_rejected(self, labelled_pairs):
+        with pytest.raises(DatasetError):
+            split_pairs(labelled_pairs, train_fraction=0.8, valid_fraction=0.3)
+
+    def test_unstratified_split_also_partitions(self, labelled_pairs):
+        train, valid, test = split_pairs(labelled_pairs, stratified=False, rng=random.Random(0))
+        assert len(train) + len(valid) + len(test) == len(labelled_pairs)
+
+
+class TestERDataset:
+    def test_schemas_exposed(self, dataset):
+        assert dataset.left_schema.attributes == ("name", "description", "price")
+        assert dataset.right_schema.attributes == ("name", "description", "price")
+
+    def test_all_pairs_and_matches(self, dataset):
+        assert len(dataset.all_pairs()) == 10
+        assert all(pair.label for pair in dataset.matches())
+
+    def test_statistics_keys(self, dataset):
+        stats = dataset.statistics()
+        assert stats["attributes_left"] == 3
+        assert stats["records_left"] == 6
+        assert stats["matches"] == 4
+
+    def test_validation_rejects_foreign_records(self, sources, labelled_pairs):
+        left, right = sources
+        rogue_pair = RecordPair(
+            make_record("GHOST", "ghost", "ghost", "0"), right.get("R0"), True
+        )
+        with pytest.raises(DatasetError):
+            ERDataset(
+                name="bad",
+                left=left,
+                right=right,
+                train=PairSplit("train", [rogue_pair]),
+                valid=PairSplit("valid", []),
+                test=PairSplit("test", []),
+            )
+
+    def test_subset_limits_test_pairs(self, dataset):
+        reduced = dataset.subset(max_test_pairs=1)
+        assert len(reduced.test) == 1
+        assert len(reduced.train) == len(dataset.train)
+
+    def test_build_dataset_splits(self, sources, labelled_pairs):
+        left, right = sources
+        built = build_dataset("built", left, right, labelled_pairs, rng=random.Random(5))
+        assert len(built.all_pairs()) == len(labelled_pairs)
+        assert built.name == "built"

@@ -1,0 +1,59 @@
+"""Tests for repro.data.dirty: dirty-variant construction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.dirty import dirtiness_rate, make_dirty_record, make_dirty_source
+
+from tests.helpers import make_record, toy_sources
+
+
+class TestMakeDirtyRecord:
+    def test_zero_probability_is_identity(self):
+        record = make_record("L0", "sony bravia", "black micro system", "10")
+        assert make_dirty_record(record, random.Random(0), probability=0.0) is record
+
+    def test_dirty_record_preserves_token_multiset(self):
+        record = make_record("L0", "sony bravia", "black micro system", "10")
+        dirty = make_dirty_record(record, random.Random(1), probability=1.0)
+        original_tokens = sorted(record.as_text().split())
+        dirty_tokens = sorted(dirty.as_text().split())
+        assert original_tokens == dirty_tokens
+
+    def test_dirty_record_empties_the_source_attribute(self):
+        record = make_record("L0", "sony bravia", "black micro system", "10")
+        dirty = make_dirty_record(record, random.Random(1), probability=1.0)
+        emptied = [name for name in record.attribute_names()
+                   if record.value(name) and not dirty.value(name)]
+        assert len(emptied) == 1
+
+    def test_record_id_is_preserved(self):
+        record = make_record("L0", "sony bravia", "black micro", "10")
+        dirty = make_dirty_record(record, random.Random(2), probability=1.0)
+        assert dirty.record_id == record.record_id
+
+
+class TestMakeDirtySource:
+    def test_source_size_and_ids_preserved(self):
+        left, _ = toy_sources()
+        dirty = make_dirty_source(left, probability=1.0, seed=3)
+        assert len(dirty) == len(left)
+        assert dirty.ids() == left.ids()
+
+    def test_high_probability_changes_most_records(self):
+        left, _ = toy_sources()
+        dirty = make_dirty_source(left, probability=1.0, seed=3)
+        assert dirtiness_rate(left, dirty) >= 0.5
+
+    def test_zero_probability_changes_nothing(self):
+        left, _ = toy_sources()
+        dirty = make_dirty_source(left, probability=0.0, seed=3)
+        assert dirtiness_rate(left, dirty) == 0.0
+
+    def test_dirtiness_rate_requires_aligned_sources(self):
+        left, right = toy_sources()
+        with pytest.raises(ValueError):
+            dirtiness_rate(left, make_dirty_source(left.filter(lambda r: r.record_id != "L0")))

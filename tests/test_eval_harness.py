@@ -1,0 +1,127 @@
+"""Integration tests for the experiment harness (tiny configurations)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.harness import (
+    COUNTERFACTUAL_METHODS,
+    ExperimentHarness,
+    HarnessConfig,
+    SALIENCY_METHODS,
+    default_config,
+    full_config,
+)
+
+TINY = HarnessConfig(
+    datasets=("BA",),
+    models=("classical",),
+    dataset_scale=0.4,
+    pairs_per_dataset=4,
+    num_triangles=8,
+    lime_samples=16,
+    shap_coalitions=16,
+    dice_candidates=20,
+    fast_models=True,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return ExperimentHarness(TINY)
+
+
+class TestConfig:
+    def test_default_config_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        config = default_config()
+        assert config.num_triangles < 100
+
+    def test_full_config_enabled_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        config = default_config()
+        assert len(config.datasets) == 12
+        assert config.num_triangles == 100
+
+    def test_with_overrides(self):
+        assert TINY.with_overrides(num_triangles=99).num_triangles == 99
+
+    def test_full_config_covers_all_datasets(self):
+        assert len(full_config().datasets) == 12
+
+
+class TestHarnessCaching:
+    def test_dataset_is_cached(self, harness):
+        assert harness.dataset("BA") is harness.dataset("BA")
+
+    def test_trained_model_is_cached(self, harness):
+        assert harness.trained("classical", "BA") is harness.trained("classical", "BA")
+
+    def test_sample_pairs_is_balanced_and_bounded(self, harness):
+        pairs = harness.sample_pairs("BA")
+        assert len(pairs) <= TINY.pairs_per_dataset
+        assert all(pair.label is not None for pair in pairs)
+
+
+class TestExplainerFactories:
+    def test_saliency_explainers_cover_paper_methods(self, harness):
+        model = harness.trained("classical", "BA").model
+        explainers = harness.saliency_explainers(model, "BA")
+        assert set(explainers) == set(SALIENCY_METHODS)
+
+    def test_counterfactual_explainers_cover_paper_methods(self, harness):
+        model = harness.trained("classical", "BA").model
+        explainers = harness.counterfactual_explainers(model, "BA")
+        assert set(explainers) == set(COUNTERFACTUAL_METHODS)
+
+
+class TestExperiments:
+    def test_saliency_rows_structure(self, harness):
+        rows = harness.saliency_rows(methods=("certa", "shap"))
+        assert rows
+        for row in rows:
+            assert 0.0 <= row["faithfulness"] <= 1.0
+            assert row["confidence_indication"] >= 0.0
+            assert row["method"] in ("certa", "shap")
+
+    def test_counterfactual_rows_structure(self, harness):
+        rows = harness.counterfactual_rows(methods=("certa", "lime-c"))
+        assert rows
+        for row in rows:
+            for metric in ("proximity", "sparsity", "diversity", "count"):
+                assert row[metric] >= 0.0
+
+    def test_triangle_sweep_rows(self, harness):
+        rows = harness.triangle_sweep_rows(
+            triangle_counts=(4, 8), datasets=("BA",), models=("classical",), pairs_per_dataset=2
+        )
+        assert {row["triangles"] for row in rows} == {4, 8}
+        for row in rows:
+            assert 0.0 <= row["probability_of_necessity"] <= 1.0
+            assert 0.0 <= row["probability_of_sufficiency"] <= 1.0
+
+    def test_monotonicity_rows(self, harness):
+        rows = harness.monotonicity_rows(datasets=("BA",), model_name="classical", pairs_per_dataset=1, triangles_per_pair=2)
+        assert rows
+        row = rows[0]
+        assert row["attributes"] == 4
+        assert row["expected"] == 14
+        assert row["performed"] <= row["expected"]
+        assert 0.0 <= row["error_rate"] <= 1.0
+
+    def test_augmentation_supply_rows(self, harness):
+        rows = harness.augmentation_supply_rows(
+            datasets=("BA",), models=("classical",), target_triangles=20, pairs_per_dataset=1
+        )
+        assert rows
+        assert rows[0]["classical"] <= 20
+
+    def test_case_study_rows(self, harness):
+        rows = harness.case_study_rows(code="BA", model_name="classical", max_pairs=1, methods=("certa", "shap"))
+        assert rows
+        for row in rows:
+            assert 0.0 <= row["alignment_top2"] <= 1.0
+            assert row["aggr@1"] >= 0.0

@@ -1,0 +1,247 @@
+"""Tests for the explanation-evaluation metrics (repro.eval)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.records import MISSING_VALUE
+from repro.eval.counterfactual_metrics import (
+    average_metrics,
+    diversity,
+    example_distance,
+    example_proximity,
+    example_sparsity,
+    proximity,
+    sparsity,
+    validity,
+)
+from repro.eval.logistic import RidgeRegressor, cross_validated_mae
+from repro.eval.masking import attributes_to_mask, mask_attributes, mask_single_attribute, mask_top_fraction
+from repro.eval.saliency_metrics import (
+    FAITHFULNESS_THRESHOLDS,
+    actual_saliency,
+    aggregate_at_k,
+    confidence_indication,
+    faithfulness,
+    saliency_alignment,
+)
+from repro.exceptions import EvaluationError
+from repro.explain.base import CounterfactualExample, CounterfactualExplanation, SaliencyExplanation
+from repro.explain.sampling import perturb_pair
+
+
+def make_saliency(pair, scores, prediction=0.9):
+    return SaliencyExplanation(pair=pair, prediction=prediction, scores=scores, method="test")
+
+
+def make_counterfactual(pair, examples, prediction=0.9):
+    return CounterfactualExplanation(
+        pair=pair, prediction=prediction, examples=examples, method="test"
+    )
+
+
+class TestMasking:
+    def test_mask_attributes_blanks_values(self, match_pair):
+        masked = mask_attributes(match_pair, ["left_name", "right_price"])
+        assert masked.left.value("name") == MISSING_VALUE
+        assert masked.right.value("price") == MISSING_VALUE
+
+    def test_mask_single_attribute(self, match_pair):
+        masked = mask_single_attribute(match_pair, "left_description")
+        assert masked.left.value("description") == MISSING_VALUE
+        assert masked.left.value("name") == match_pair.left.value("name")
+
+    def test_attributes_to_mask_uses_ceiling(self, match_pair):
+        explanation = make_saliency(match_pair, {"left_name": 0.9, "left_price": 0.5, "right_name": 0.2})
+        assert attributes_to_mask(explanation, 0.1) == ["left_name"]
+        assert len(attributes_to_mask(explanation, 0.5)) == 3
+
+    def test_attributes_to_mask_invalid_fraction(self, match_pair):
+        explanation = make_saliency(match_pair, {"left_name": 0.9})
+        with pytest.raises(ValueError):
+            attributes_to_mask(explanation, 1.5)
+
+    def test_mask_top_fraction_full(self, match_pair):
+        explanation = make_saliency(
+            match_pair,
+            {name: 1.0 for name in match_pair.attribute_names()},
+        )
+        masked = mask_top_fraction(match_pair, explanation, 1.0)
+        assert all(not value for value in masked.left.values.values())
+
+
+class TestFaithfulness:
+    def test_good_explanations_have_lower_auc(self, similarity_model, labelled_pairs):
+        pairs = labelled_pairs[:6]
+        informative, uninformative = [], []
+        for pair in pairs:
+            reference = actual_saliency(similarity_model, pair)
+            informative.append(make_saliency(pair, reference, similarity_model.predict_pair(pair)))
+            # Anti-informative: invert the reference ranking.
+            worst = {name: -value for name, value in reference.items()}
+            uninformative.append(make_saliency(pair, worst, similarity_model.predict_pair(pair)))
+        good = faithfulness(similarity_model, informative).auc
+        bad = faithfulness(similarity_model, uninformative).auc
+        assert good <= bad + 1e-9
+
+    def test_result_contains_curve(self, similarity_model, labelled_pairs):
+        explanations = [
+            make_saliency(pair, {"left_name": 1.0}, similarity_model.predict_pair(pair))
+            for pair in labelled_pairs[:4]
+        ]
+        result = faithfulness(similarity_model, explanations)
+        assert result.thresholds == FAITHFULNESS_THRESHOLDS
+        assert len(result.f1_at_threshold) == len(FAITHFULNESS_THRESHOLDS)
+        assert set(result.as_dict()) >= {"faithfulness_auc"}
+
+    def test_empty_explanations_rejected(self, similarity_model):
+        with pytest.raises(EvaluationError):
+            faithfulness(similarity_model, [])
+
+    def test_unlabelled_pairs_rejected(self, similarity_model, match_pair):
+        unlabelled = match_pair.with_label(None)
+        with pytest.raises(EvaluationError):
+            faithfulness(similarity_model, [make_saliency(unlabelled, {"left_name": 1.0})])
+
+
+class TestConfidenceIndication:
+    def test_informative_scores_give_lower_mae(self, match_pair, non_match_pair):
+        rng = np.random.default_rng(0)
+        informative, noise = [], []
+        for index in range(24):
+            pair = match_pair if index % 2 == 0 else non_match_pair
+            confidence = float(rng.uniform(0.5, 1.0))
+            prediction = confidence if index % 2 == 0 else 1.0 - confidence
+            # Informative: max saliency tracks the confidence exactly.
+            informative.append(make_saliency(pair, {"left_name": confidence, "left_price": 0.0}, prediction))
+            noise.append(make_saliency(pair, {"left_name": float(rng.random()), "left_price": 0.0}, prediction))
+        assert confidence_indication(informative) <= confidence_indication(noise)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            confidence_indication([])
+
+
+class TestCaseStudyHelpers:
+    def test_actual_saliency_covers_all_attributes(self, similarity_model, match_pair):
+        reference = actual_saliency(similarity_model, match_pair)
+        assert set(reference) == set(match_pair.attribute_names())
+        assert all(value >= 0.0 for value in reference.values())
+
+    def test_aggregate_at_k_reports_requested_ks(self, similarity_model, match_pair):
+        reference = actual_saliency(similarity_model, match_pair)
+        explanation = make_saliency(match_pair, reference, similarity_model.predict_pair(match_pair))
+        aggregates = aggregate_at_k(similarity_model, explanation, k_values=(1, 3, 6))
+        assert set(aggregates) == {1, 3, 6}
+        assert all(value >= 0.0 for value in aggregates.values())
+
+    def test_saliency_alignment_perfect_and_zero(self, match_pair):
+        reference = {"left_name": 0.9, "left_description": 0.6, "left_price": 0.1}
+        aligned = make_saliency(match_pair, reference)
+        assert saliency_alignment(aligned, reference, top_k=2) == 1.0
+        disjoint = make_saliency(match_pair, {"right_price": 1.0, "right_name": 0.9})
+        assert saliency_alignment(disjoint, reference, top_k=2) == 0.0
+
+
+class TestCounterfactualMetrics:
+    def _example(self, pair, changed, operator="drop"):
+        perturbed = perturb_pair(pair, changed, operator=operator)
+        return CounterfactualExample(
+            pair=perturbed, changed_attributes=tuple(changed), score=0.1, original_score=0.9
+        )
+
+    def test_proximity_decreases_with_more_changes(self, match_pair):
+        one_change = make_counterfactual(match_pair, [self._example(match_pair, ["left_name"])])
+        many_changes = make_counterfactual(
+            match_pair,
+            [self._example(match_pair, ["left_name", "left_description", "right_name"])],
+        )
+        assert proximity(one_change) > proximity(many_changes)
+
+    def test_sparsity_counts_unchanged_attributes(self, match_pair):
+        explanation = make_counterfactual(match_pair, [self._example(match_pair, ["left_name"])])
+        assert sparsity(explanation) == pytest.approx(5 / 6)
+
+    def test_identity_example_has_perfect_proximity(self, match_pair):
+        identical = CounterfactualExample(
+            pair=match_pair, changed_attributes=(), score=0.1, original_score=0.9
+        )
+        explanation = make_counterfactual(match_pair, [identical])
+        assert proximity(explanation) == pytest.approx(1.0)
+        assert sparsity(explanation) == pytest.approx(1.0)
+
+    def test_diversity_zero_for_single_example(self, match_pair):
+        explanation = make_counterfactual(match_pair, [self._example(match_pair, ["left_name"])])
+        assert diversity(explanation) == 0.0
+
+    def test_diversity_positive_for_different_examples(self, match_pair):
+        explanation = make_counterfactual(
+            match_pair,
+            [
+                self._example(match_pair, ["left_name"]),
+                self._example(match_pair, ["right_description"]),
+            ],
+        )
+        assert diversity(explanation) > 0.0
+
+    def test_validity(self, match_pair):
+        flipping = self._example(match_pair, ["left_name"])
+        non_flipping = CounterfactualExample(
+            pair=match_pair, changed_attributes=(), score=0.8, original_score=0.9
+        )
+        explanation = make_counterfactual(match_pair, [flipping, non_flipping])
+        assert validity(explanation) == pytest.approx(0.5)
+
+    def test_validity_zero_when_empty(self, match_pair):
+        assert validity(make_counterfactual(match_pair, [])) == 0.0
+
+    def test_empty_metrics_rejected(self):
+        with pytest.raises(EvaluationError):
+            average_metrics([])
+
+    def test_average_metrics_keys(self, match_pair):
+        explanation = make_counterfactual(match_pair, [self._example(match_pair, ["left_name"])])
+        metrics = average_metrics([explanation])
+        assert set(metrics) == {"proximity", "sparsity", "diversity", "validity", "count"}
+
+    def test_example_distance_symmetry(self, match_pair):
+        first = self._example(match_pair, ["left_name"])
+        second = self._example(match_pair, ["right_name"])
+        assert example_distance(first, second) == pytest.approx(example_distance(second, first))
+
+    def test_example_proximity_plus_distance_consistency(self, match_pair):
+        example = self._example(match_pair, ["left_name"])
+        assert 0.0 <= example_proximity(example, match_pair) <= 1.0
+        assert 0.0 <= example_sparsity(example, match_pair) <= 1.0
+
+
+class TestRidgeRegressor:
+    def test_fits_linear_relationship(self):
+        rng = np.random.default_rng(0)
+        features = rng.uniform(0, 1, size=(50, 2))
+        targets = np.clip(0.5 * features[:, 0] + 0.3, 0, 1)
+        model = RidgeRegressor(regularisation=1e-6).fit(features, targets)
+        predictions = model.predict(features)
+        assert np.mean(np.abs(predictions - targets)) < 0.01
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegressor().predict(np.zeros((2, 2)))
+
+    def test_predictions_clipped_to_unit_interval(self):
+        features = np.array([[0.0], [10.0]])
+        targets = np.array([0.0, 5.0])
+        model = RidgeRegressor(regularisation=1e-6).fit(features, targets)
+        assert np.all(model.predict(np.array([[100.0]])) <= 1.0)
+
+    def test_cross_validated_mae_small_sample_fallback(self):
+        features = np.array([[0.1], [0.2]])
+        targets = np.array([0.1, 0.2])
+        assert cross_validated_mae(features, targets) >= 0.0
+
+    def test_cross_validated_mae_reasonable(self):
+        rng = np.random.default_rng(1)
+        features = rng.uniform(0, 1, size=(60, 3))
+        targets = np.clip(features @ np.array([0.2, 0.3, 0.1]), 0, 1)
+        assert cross_validated_mae(features, targets) < 0.05

@@ -1,0 +1,84 @@
+"""Tests for repro.eval.reporting."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.eval.reporting import (
+    best_method_per_group,
+    format_table,
+    pivot_metric,
+    win_counts,
+    write_csv,
+)
+
+ROWS = [
+    {"dataset": "AB", "model": "ditto", "method": "certa", "faithfulness": 0.10},
+    {"dataset": "AB", "model": "ditto", "method": "shap", "faithfulness": 0.30},
+    {"dataset": "BA", "model": "ditto", "method": "certa", "faithfulness": 0.20},
+    {"dataset": "BA", "model": "ditto", "method": "shap", "faithfulness": 0.15},
+]
+
+
+class TestFormatTable:
+    def test_contains_all_columns_and_values(self):
+        text = format_table(ROWS)
+        assert "dataset" in text and "faithfulness" in text
+        assert "0.100" in text
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_column_selection(self):
+        text = format_table(ROWS, columns=["dataset", "method"])
+        assert "faithfulness" not in text
+
+    def test_precision_control(self):
+        text = format_table(ROWS, precision=1)
+        assert "0.1" in text
+
+
+class TestPivot:
+    def test_pivot_layout(self):
+        text = pivot_metric(ROWS, "faithfulness")
+        assert "ditto/certa" in text
+        assert "ditto/shap" in text
+        assert text.count("\n") >= 3  # header, separator, two dataset rows
+
+    def test_pivot_empty(self):
+        assert pivot_metric([], "faithfulness") == "(no rows)"
+
+
+class TestWinners:
+    def test_best_method_lower_is_better(self):
+        winners = best_method_per_group(ROWS, "faithfulness", lower_is_better=True)
+        assert winners[("AB", "ditto")] == "certa"
+        assert winners[("BA", "ditto")] == "shap"
+
+    def test_best_method_higher_is_better(self):
+        winners = best_method_per_group(ROWS, "faithfulness", lower_is_better=False)
+        assert winners[("AB", "ditto")] == "shap"
+
+    def test_win_counts(self):
+        counts = win_counts(ROWS, "faithfulness", lower_is_better=True)
+        assert counts == {"certa": 1, "shap": 1}
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(ROWS, tmp_path / "results.csv")
+        with path.open() as handle:
+            loaded = list(csv.DictReader(handle))
+        assert len(loaded) == len(ROWS)
+        assert loaded[0]["method"] == "certa"
+
+    def test_empty_rows(self, tmp_path):
+        path = write_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == ""
+
+    def test_union_of_columns(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        path = write_csv(rows, tmp_path / "union.csv")
+        with path.open() as handle:
+            loaded = list(csv.DictReader(handle))
+        assert set(loaded[0]) == {"a", "b"}

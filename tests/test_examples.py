@@ -1,0 +1,56 @@
+"""Smoke tests for the example scripts.
+
+Running every example end-to-end would dominate the test-suite runtime, so the
+tests check that each script compiles, documents itself, and exposes a ``main``
+entry point; the quickstart-style workflow itself is covered by the dedicated
+integration test at the bottom.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExampleScripts:
+    def test_at_least_three_examples_exist(self):
+        assert len(EXAMPLE_FILES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda path: path.name)
+    def test_example_compiles(self, path):
+        source = path.read_text(encoding="utf-8")
+        compile(source, str(path), "exec")
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda path: path.name)
+    def test_example_has_docstring_and_main(self, path):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        assert ast.get_docstring(tree), f"{path.name} needs a module docstring"
+        function_names = {node.name for node in tree.body if isinstance(node, ast.FunctionDef)}
+        assert "main" in function_names, f"{path.name} needs a main() entry point"
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda path: path.name)
+    def test_example_only_imports_public_api(self, path):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+                # Examples must use the documented public packages.
+                top_level = node.module.split(".")[1] if "." in node.module else ""
+                assert top_level in {"", "data", "models", "certa", "explain", "eval", "text"}
+
+
+class TestQuickstartWorkflow:
+    def test_end_to_end_quickstart_workflow(self, ab_dataset, trained_classical):
+        """The workflow of examples/quickstart.py, on the session-cached model."""
+        from repro.certa import CertaExplainer
+
+        model = trained_classical.model
+        explainer = CertaExplainer(model, ab_dataset.left, ab_dataset.right, num_triangles=10, seed=0)
+        pair = ab_dataset.test.positives()[0]
+        explanation = explainer.explain_full(pair)
+        assert explanation.saliency.scores
+        assert 0.0 <= explanation.prediction <= 1.0

@@ -1,0 +1,206 @@
+"""Tests for repro.explain.base and repro.explain.sampling."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.data.records import MISSING_VALUE
+from repro.exceptions import ExplanationError
+from repro.explain.base import (
+    CounterfactualExample,
+    CounterfactualExplanation,
+    SaliencyExplanation,
+    apply_attribute_changes,
+    changed_attribute_names,
+    pair_attribute_names,
+    prefixed_attribute,
+    split_prefixed,
+)
+from repro.explain.sampling import (
+    AttributeValuePool,
+    aligned_opposite_value,
+    perturb_pair,
+    sample_binary_perturbations,
+)
+
+
+class TestPrefixing:
+    def test_prefixed_attribute(self):
+        assert prefixed_attribute("left", "name") == "left_name"
+        assert prefixed_attribute("right", "name") == "right_name"
+
+    def test_prefixed_attribute_invalid_side(self):
+        with pytest.raises(ExplanationError):
+            prefixed_attribute("middle", "name")
+
+    def test_split_prefixed_roundtrip(self):
+        assert split_prefixed("left_name") == ("left", "name")
+        assert split_prefixed("right_price") == ("right", "price")
+
+    def test_split_prefixed_invalid(self):
+        with pytest.raises(ExplanationError):
+            split_prefixed("name")
+
+    def test_pair_attribute_names(self, match_pair):
+        names = pair_attribute_names(match_pair)
+        assert names == (
+            "left_name", "left_description", "left_price",
+            "right_name", "right_description", "right_price",
+        )
+
+
+class TestApplyChanges:
+    def test_apply_changes_both_sides(self, match_pair):
+        changed = apply_attribute_changes(
+            match_pair, {"left_name": "new left", "right_price": "42"}
+        )
+        assert changed.left.value("name") == "new left"
+        assert changed.right.value("price") == "42"
+        assert changed.left.value("description") == match_pair.left.value("description")
+
+    def test_apply_changes_preserves_label(self, match_pair):
+        changed = apply_attribute_changes(match_pair, {"left_name": "x"})
+        assert changed.label == match_pair.label
+
+    def test_changed_attribute_names(self, match_pair):
+        changed = apply_attribute_changes(match_pair, {"left_name": "x", "right_price": "1"})
+        names = changed_attribute_names(match_pair, changed)
+        assert set(names) == {"left_name", "right_price"}
+
+
+class TestSaliencyExplanation:
+    def _explanation(self, match_pair):
+        return SaliencyExplanation(
+            pair=match_pair,
+            prediction=0.8,
+            scores={"left_name": 0.5, "left_price": 0.1, "right_name": 0.3},
+            method="test",
+        )
+
+    def test_ranked_descending(self, match_pair):
+        ranked = self._explanation(match_pair).ranked()
+        assert [name for name, _ in ranked] == ["left_name", "right_name", "left_price"]
+
+    def test_top_attributes(self, match_pair):
+        assert self._explanation(match_pair).top_attributes(2) == ["left_name", "right_name"]
+
+    def test_score_of_missing_attribute(self, match_pair):
+        assert self._explanation(match_pair).score_of("right_price") == 0.0
+
+    def test_side_scores(self, match_pair):
+        left_scores = self._explanation(match_pair).side_scores("left")
+        assert left_scores == {"name": 0.5, "price": 0.1}
+
+    def test_predicted_match_flag(self, match_pair):
+        assert self._explanation(match_pair).predicted_match is True
+
+    def test_normalised_sums_to_one(self, match_pair):
+        normalised = self._explanation(match_pair).normalised()
+        assert sum(normalised.scores.values()) == pytest.approx(1.0)
+
+    def test_normalised_zero_scores_is_identity(self, match_pair):
+        explanation = SaliencyExplanation(match_pair, 0.8, {"left_name": 0.0}, "test")
+        assert explanation.normalised() is explanation
+
+
+class TestCounterfactualExplanation:
+    def _example(self, match_pair, score):
+        return CounterfactualExample(
+            pair=match_pair, changed_attributes=("left_name",), score=score, original_score=0.9
+        )
+
+    def test_flipped_detection(self, match_pair):
+        assert self._example(match_pair, 0.2).flipped is True
+        assert self._example(match_pair, 0.8).flipped is False
+
+    def test_valid_examples_and_best(self, match_pair):
+        explanation = CounterfactualExplanation(
+            pair=match_pair,
+            prediction=0.9,
+            examples=[self._example(match_pair, 0.2), self._example(match_pair, 0.7)],
+            method="test",
+        )
+        assert len(explanation.valid_examples()) == 1
+        assert explanation.best_example().score == 0.2
+        assert explanation.count() == 2
+
+    def test_best_example_none_when_no_flip(self, match_pair):
+        explanation = CounterfactualExplanation(
+            pair=match_pair, prediction=0.9, examples=[self._example(match_pair, 0.8)], method="test"
+        )
+        assert explanation.best_example() is None
+
+    def test_changed_values(self, match_pair):
+        example = self._example(match_pair, 0.2)
+        assert example.changed_values() == {"left_name": match_pair.left.value("name")}
+
+
+class TestPerturbationOperators:
+    def test_drop_blanks_values(self, match_pair):
+        perturbed = perturb_pair(match_pair, ["left_name", "right_price"], operator="drop")
+        assert perturbed.left.value("name") == MISSING_VALUE
+        assert perturbed.right.value("price") == MISSING_VALUE
+
+    def test_copy_takes_opposite_value(self, match_pair):
+        perturbed = perturb_pair(match_pair, ["left_name"], operator="copy")
+        assert perturbed.left.value("name") == match_pair.right.value("name")
+
+    def test_copy_right_side(self, match_pair):
+        perturbed = perturb_pair(match_pair, ["right_description"], operator="copy")
+        assert perturbed.right.value("description") == match_pair.left.value("description")
+
+    def test_unknown_operator_rejected(self, match_pair):
+        with pytest.raises(ValueError):
+            perturb_pair(match_pair, ["left_name"], operator="bogus")
+
+    def test_aligned_opposite_value_same_schema(self, match_pair):
+        assert aligned_opposite_value(match_pair, "left_price") == match_pair.right.value("price")
+
+
+class TestBinaryPerturbations:
+    def test_original_pair_is_first_sample(self, match_pair):
+        names, samples = sample_binary_perturbations(match_pair, n_samples=5, rng=random.Random(0))
+        assert np.all(samples[0].mask == 1.0)
+        assert samples[0].pair is match_pair
+        assert len(names) == 6
+
+    def test_sample_count(self, match_pair):
+        _, samples = sample_binary_perturbations(match_pair, n_samples=7, rng=random.Random(0))
+        assert len(samples) == 8  # original + 7
+
+    def test_masks_reflect_perturbations(self, match_pair):
+        names, samples = sample_binary_perturbations(match_pair, n_samples=10, rng=random.Random(1))
+        for sample in samples[1:]:
+            for name, active in zip(names, sample.mask):
+                if not active and name.startswith("left_"):
+                    attribute = name[len("left_"):]
+                    assert sample.pair.left.value(attribute) == MISSING_VALUE
+
+    def test_no_sample_is_fully_active_except_original(self, match_pair):
+        _, samples = sample_binary_perturbations(match_pair, n_samples=20, rng=random.Random(2))
+        for sample in samples[1:]:
+            assert sample.mask.sum() < len(sample.mask)
+
+
+class TestAttributeValuePool:
+    def test_pool_covers_both_sides(self, sources):
+        left, right = sources
+        pool = AttributeValuePool.from_sources(left, right)
+        assert "left_name" in pool.values
+        assert "right_price" in pool.values
+
+    def test_sample_avoids_excluded_value_when_possible(self, sources):
+        left, right = sources
+        pool = AttributeValuePool.from_sources(left, right)
+        rng = random.Random(0)
+        for _ in range(10):
+            value = pool.sample_value("left_name", rng, exclude="sony bravia theater")
+            assert value != "sony bravia theater"
+
+    def test_sample_unknown_attribute_returns_missing(self, sources):
+        left, right = sources
+        pool = AttributeValuePool.from_sources(left, right)
+        assert pool.sample_value("left_bogus", random.Random(0)) == MISSING_VALUE

@@ -1,0 +1,129 @@
+"""Tests for the saliency baselines: LIME, SHAP, Mojito, LandMark."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.explain.base import pair_attribute_names
+from repro.explain.landmark import LandmarkExplainer
+from repro.explain.lime import LimeExplainer, exponential_kernel, weighted_ridge
+from repro.explain.mojito import MojitoExplainer
+from repro.explain.shap import ShapExplainer, enumerate_or_sample_coalitions, shapley_kernel_weight
+
+import random
+
+
+class TestLimeInternals:
+    def test_exponential_kernel_decreases_with_distance(self):
+        weights = exponential_kernel(np.array([0.0, 0.5, 1.0]), kernel_width=0.75)
+        assert weights[0] > weights[1] > weights[2]
+
+    def test_weighted_ridge_recovers_linear_function(self):
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal((100, 3))
+        targets = features @ np.array([1.0, -2.0, 0.5]) + 0.3
+        coefficients, intercept = weighted_ridge(features, targets, np.ones(100), regularisation=1e-6)
+        assert np.allclose(coefficients, [1.0, -2.0, 0.5], atol=1e-3)
+        assert intercept == pytest.approx(0.3, abs=1e-3)
+
+    def test_weighted_ridge_requires_matrix(self):
+        with pytest.raises(ValueError):
+            weighted_ridge(np.zeros(3), np.zeros(3), np.ones(3))
+
+
+class TestLimeExplainer:
+    def test_scores_cover_all_attributes(self, similarity_model, match_pair):
+        explainer = LimeExplainer(similarity_model, n_samples=40, seed=0)
+        explanation = explainer.explain(match_pair)
+        assert set(explanation.scores) == set(pair_attribute_names(match_pair))
+
+    def test_scores_are_non_negative(self, similarity_model, match_pair):
+        explanation = LimeExplainer(similarity_model, n_samples=40, seed=0).explain(match_pair)
+        assert all(score >= 0.0 for score in explanation.scores.values())
+
+    def test_prediction_matches_model(self, similarity_model, match_pair):
+        explanation = LimeExplainer(similarity_model, n_samples=20, seed=0).explain(match_pair)
+        assert explanation.prediction == pytest.approx(similarity_model.predict_pair(match_pair))
+
+    def test_informative_attributes_outrank_empty_ones(self, similarity_model, match_pair):
+        # Blank the price on both sides: it carries no information for the
+        # similarity model, so its saliency must not dominate.
+        pair = match_pair.with_left(match_pair.left.mask(["price"]))
+        pair = pair.with_right(pair.right.mask(["price"]))
+        explanation = LimeExplainer(similarity_model, n_samples=80, seed=0).explain(pair)
+        name_score = explanation.score_of("left_name") + explanation.score_of("left_description")
+        price_score = explanation.score_of("left_price")
+        assert name_score >= price_score
+
+    def test_deterministic_given_seed(self, similarity_model, match_pair):
+        first = LimeExplainer(similarity_model, n_samples=30, seed=5).explain(match_pair)
+        second = LimeExplainer(similarity_model, n_samples=30, seed=5).explain(match_pair)
+        assert first.scores == second.scores
+
+
+class TestShapInternals:
+    def test_kernel_weight_extremes_are_large(self):
+        assert shapley_kernel_weight(5, 0) > shapley_kernel_weight(5, 2)
+        assert shapley_kernel_weight(5, 5) > shapley_kernel_weight(5, 2)
+
+    def test_kernel_weight_symmetry(self):
+        assert shapley_kernel_weight(6, 2) == pytest.approx(shapley_kernel_weight(6, 4))
+
+    def test_enumerate_small_feature_space(self):
+        coalitions = enumerate_or_sample_coalitions(3, max_coalitions=100, rng=random.Random(0))
+        assert len(coalitions) == 8
+
+    def test_sample_large_feature_space(self):
+        coalitions = enumerate_or_sample_coalitions(16, max_coalitions=50, rng=random.Random(0))
+        assert len(coalitions) == 50
+        assert tuple() in coalitions
+        assert tuple(range(16)) in coalitions
+
+
+class TestShapExplainer:
+    def test_scores_cover_all_attributes(self, similarity_model, match_pair):
+        explanation = ShapExplainer(similarity_model, max_coalitions=64, seed=0).explain(match_pair)
+        assert set(explanation.scores) == set(pair_attribute_names(match_pair))
+
+    def test_shapley_values_sum_to_score_minus_base(self, similarity_model, match_pair):
+        explainer = ShapExplainer(similarity_model, max_coalitions=64, seed=0)
+        attribution, original, base = explainer.shapley_values(match_pair)
+        assert sum(attribution.values()) == pytest.approx(original - base, abs=0.05)
+
+    def test_metadata_contains_base_value(self, similarity_model, match_pair):
+        explanation = ShapExplainer(similarity_model, max_coalitions=64, seed=0).explain(match_pair)
+        assert "base_value" in explanation.metadata
+
+
+class TestMojito:
+    def test_match_prediction_uses_drop(self, similarity_model, match_pair):
+        explanation = MojitoExplainer(similarity_model, n_samples=30, seed=0).explain(match_pair)
+        assert explanation.metadata["operator"] == 1.0
+
+    def test_non_match_prediction_uses_copy(self, similarity_model, non_match_pair):
+        explanation = MojitoExplainer(similarity_model, n_samples=30, seed=0).explain(non_match_pair)
+        assert explanation.metadata["operator"] == 0.0
+
+    def test_method_name(self, similarity_model, match_pair):
+        explanation = MojitoExplainer(similarity_model, n_samples=20, seed=0).explain(match_pair)
+        assert explanation.method == "mojito"
+
+
+class TestLandmark:
+    def test_scores_cover_both_sides(self, similarity_model, match_pair):
+        explanation = LandmarkExplainer(similarity_model, n_samples=30, seed=0).explain(match_pair)
+        left_scores = explanation.side_scores("left")
+        right_scores = explanation.side_scores("right")
+        assert set(left_scores) == {"name", "description", "price"}
+        assert set(right_scores) == {"name", "description", "price"}
+
+    def test_handles_non_match(self, similarity_model, non_match_pair):
+        explanation = LandmarkExplainer(similarity_model, n_samples=30, seed=0).explain(non_match_pair)
+        assert explanation.prediction < 0.5
+        assert all(score >= 0.0 for score in explanation.scores.values())
+
+    def test_explain_many(self, similarity_model, labelled_pairs):
+        explainer = LandmarkExplainer(similarity_model, n_samples=20, seed=0)
+        explanations = explainer.explain_many(labelled_pairs[:3])
+        assert len(explanations) == 3

@@ -1,0 +1,98 @@
+"""Tests for repro.data.io: CSV / JSONL round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.io import (
+    load_dataset,
+    read_pairs_csv,
+    read_source_csv,
+    records_from_jsonl,
+    records_to_jsonl,
+    save_dataset,
+    write_pairs_csv,
+    write_source_csv,
+)
+from repro.exceptions import DatasetError
+
+
+class TestSourceCsv:
+    def test_roundtrip_preserves_records(self, sources, tmp_path):
+        left, _ = sources
+        path = write_source_csv(left, tmp_path / "tableA.csv")
+        loaded = read_source_csv(path, name="loaded", source_tag="U")
+        assert len(loaded) == len(left)
+        assert loaded.get("L0").value("name") == left.get("L0").value("name")
+
+    def test_roundtrip_preserves_schema_order(self, sources, tmp_path):
+        left, _ = sources
+        path = write_source_csv(left, tmp_path / "tableA.csv")
+        loaded = read_source_csv(path, name="loaded")
+        assert loaded.schema.attributes == left.schema.attributes
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_source_csv(tmp_path / "nope.csv", name="x")
+
+    def test_missing_id_column_raises(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("name,price\nsony,10\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            read_source_csv(bad, name="bad")
+
+
+class TestPairsCsv:
+    def test_roundtrip(self, sources, labelled_pairs, tmp_path):
+        left, right = sources
+        path = write_pairs_csv(labelled_pairs, tmp_path / "pairs.csv")
+        loaded = read_pairs_csv(path, left, right)
+        assert len(loaded) == len(labelled_pairs)
+        assert loaded[0].label == labelled_pairs[0].label
+
+    def test_unlabelled_pair_rejected(self, labelled_pairs, tmp_path):
+        unlabelled = [labelled_pairs[0].with_label(None)]
+        with pytest.raises(DatasetError):
+            write_pairs_csv(unlabelled, tmp_path / "pairs.csv")
+
+    def test_missing_columns_raise(self, sources, tmp_path):
+        left, right = sources
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a,b\n1,2\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            read_pairs_csv(bad, left, right)
+
+
+class TestDatasetDirectory:
+    def test_save_and_load_roundtrip(self, dataset, tmp_path):
+        directory = save_dataset(dataset, tmp_path / "TOY")
+        loaded = load_dataset(directory)
+        assert loaded.name == dataset.name
+        assert len(loaded.train) == len(dataset.train)
+        assert len(loaded.test) == len(dataset.test)
+        assert loaded.left_schema.attributes == dataset.left_schema.attributes
+
+    def test_expected_files_exist(self, dataset, tmp_path):
+        directory = save_dataset(dataset, tmp_path / "TOY")
+        for name in ("tableA.csv", "tableB.csv", "train.csv", "valid.csv", "test.csv", "metadata.json"):
+            assert (directory / name).exists()
+
+    def test_load_with_name_override(self, dataset, tmp_path):
+        directory = save_dataset(dataset, tmp_path / "TOY")
+        loaded = load_dataset(directory, name="RENAMED")
+        assert loaded.name == "RENAMED"
+
+
+class TestJsonl:
+    def test_roundtrip(self, sources, tmp_path):
+        left, _ = sources
+        path = records_to_jsonl(left.records, tmp_path / "records.jsonl")
+        loaded = records_from_jsonl(path, left.schema)
+        assert len(loaded) == len(left)
+        assert loaded[0].record_id == left.records[0].record_id
+        assert dict(loaded[0].values) == dict(left.records[0].values)
+
+    def test_missing_jsonl_raises(self, sources, tmp_path):
+        left, _ = sources
+        with pytest.raises(DatasetError):
+            records_from_jsonl(tmp_path / "nope.jsonl", left.schema)

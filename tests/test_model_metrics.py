@@ -1,0 +1,60 @@
+"""Tests for repro.models.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_counts,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+
+
+class TestConfusion:
+    def test_counts(self):
+        truth = np.array([True, True, False, False])
+        predictions = np.array([True, False, True, False])
+        assert confusion_counts(truth, predictions) == (1, 1, 1, 1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_counts(np.array([True]), np.array([True, False]))
+
+
+class TestScores:
+    TRUTH = np.array([True, True, True, False, False])
+    PREDICTIONS = np.array([True, True, False, True, False])
+
+    def test_precision(self):
+        assert precision_score(self.TRUTH, self.PREDICTIONS) == pytest.approx(2 / 3)
+
+    def test_recall(self):
+        assert recall_score(self.TRUTH, self.PREDICTIONS) == pytest.approx(2 / 3)
+
+    def test_f1(self):
+        assert f1_score(self.TRUTH, self.PREDICTIONS) == pytest.approx(2 / 3)
+
+    def test_accuracy(self):
+        assert accuracy_score(self.TRUTH, self.PREDICTIONS) == pytest.approx(3 / 5)
+
+    def test_perfect_prediction(self):
+        assert f1_score(self.TRUTH, self.TRUTH) == 1.0
+
+    def test_no_predicted_positives(self):
+        predictions = np.zeros(5, dtype=bool)
+        assert precision_score(self.TRUTH, predictions) == 0.0
+        assert f1_score(self.TRUTH, predictions) == 0.0
+
+    def test_no_actual_positives(self):
+        truth = np.zeros(4, dtype=bool)
+        predictions = np.array([True, False, False, False])
+        assert recall_score(truth, predictions) == 0.0
+
+    def test_report_contains_all_metrics(self):
+        report = classification_report(self.TRUTH, self.PREDICTIONS)
+        assert set(report) == {"precision", "recall", "f1", "accuracy"}

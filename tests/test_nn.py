@@ -1,0 +1,196 @@
+"""Tests for the numpy neural substrate: layers, losses, optimisers, MLP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.nn.layers import Dense, Dropout, ReLU, Sigmoid, Tanh, sigmoid
+from repro.models.nn.losses import binary_cross_entropy, binary_cross_entropy_gradient, mean_squared_error
+from repro.models.nn.network import MLPClassifier
+from repro.models.nn.optim import SGD, Adam
+
+
+class TestLayers:
+    def test_dense_output_shape(self):
+        layer = Dense(4, 3, seed=0)
+        outputs = layer.forward(np.ones((5, 4)))
+        assert outputs.shape == (5, 3)
+
+    def test_dense_backward_requires_training_forward(self):
+        layer = Dense(2, 2)
+        layer.forward(np.ones((1, 2)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_dense_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(3, 2, seed=1)
+        inputs = rng.standard_normal((4, 3))
+        grad_output = rng.standard_normal((4, 2))
+
+        layer.forward(inputs, training=True)
+        layer.backward(grad_output)
+        analytic = layer.gradients()[0].copy()
+
+        epsilon = 1e-6
+        numeric = np.zeros_like(layer.weight)
+        for i in range(layer.weight.shape[0]):
+            for j in range(layer.weight.shape[1]):
+                layer.weight[i, j] += epsilon
+                plus = np.sum(layer.forward(inputs) * grad_output)
+                layer.weight[i, j] -= 2 * epsilon
+                minus = np.sum(layer.forward(inputs) * grad_output)
+                layer.weight[i, j] += epsilon
+                numeric[i, j] = (plus - minus) / (2 * epsilon)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_relu_zeroes_negatives(self):
+        layer = ReLU()
+        outputs = layer.forward(np.array([[-1.0, 2.0]]))
+        assert outputs.tolist() == [[0.0, 2.0]]
+
+    def test_relu_backward_masks_gradient(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]), training=True)
+        grads = layer.backward(np.array([[5.0, 5.0]]))
+        assert grads.tolist() == [[0.0, 5.0]]
+
+    def test_tanh_range(self):
+        layer = Tanh()
+        outputs = layer.forward(np.array([[-100.0, 0.0, 100.0]]))
+        assert outputs[0, 0] == pytest.approx(-1.0)
+        assert outputs[0, 1] == pytest.approx(0.0)
+        assert outputs[0, 2] == pytest.approx(1.0)
+
+    def test_sigmoid_function_stability(self):
+        values = sigmoid(np.array([-1000.0, 0.0, 1000.0]))
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(0.5)
+        assert values[2] == pytest.approx(1.0)
+
+    def test_sigmoid_layer_backward(self):
+        layer = Sigmoid()
+        layer.forward(np.array([[0.0]]), training=True)
+        grads = layer.backward(np.array([[1.0]]))
+        assert grads[0, 0] == pytest.approx(0.25)
+
+    def test_dropout_inactive_at_inference(self):
+        layer = Dropout(rate=0.5, seed=0)
+        inputs = np.ones((3, 4))
+        assert np.allclose(layer.forward(inputs, training=False), inputs)
+
+    def test_dropout_zeroes_some_units_in_training(self):
+        layer = Dropout(rate=0.5, seed=0)
+        outputs = layer.forward(np.ones((10, 10)), training=True)
+        assert np.sum(outputs == 0.0) > 0
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(rate=1.0)
+
+
+class TestLosses:
+    def test_bce_perfect_prediction_is_small(self):
+        loss = binary_cross_entropy(np.array([0.999, 0.001]), np.array([1.0, 0.0]))
+        assert loss < 0.01
+
+    def test_bce_wrong_prediction_is_large(self):
+        loss = binary_cross_entropy(np.array([0.01]), np.array([1.0]))
+        assert loss > 2.0
+
+    def test_bce_positive_weight_increases_positive_loss(self):
+        unweighted = binary_cross_entropy(np.array([0.3]), np.array([1.0]), positive_weight=1.0)
+        weighted = binary_cross_entropy(np.array([0.3]), np.array([1.0]), positive_weight=3.0)
+        assert weighted == pytest.approx(3 * unweighted)
+
+    def test_bce_gradient_sign(self):
+        grad = binary_cross_entropy_gradient(np.array([0.3]), np.array([1.0]))
+        assert grad[0] < 0  # prediction should increase
+
+    def test_mse(self):
+        assert mean_squared_error(np.array([1.0, 2.0]), np.array([1.0, 4.0])) == pytest.approx(2.0)
+
+
+class TestOptimisers:
+    def test_sgd_moves_against_gradient(self):
+        parameter = np.array([1.0])
+        SGD(learning_rate=0.1).step([parameter], [np.array([1.0])])
+        assert parameter[0] == pytest.approx(0.9)
+
+    def test_sgd_momentum_accumulates(self):
+        parameter = np.array([0.0])
+        optimizer = SGD(learning_rate=0.1, momentum=0.9)
+        optimizer.step([parameter], [np.array([1.0])])
+        first_step = parameter[0]
+        optimizer.step([parameter], [np.array([1.0])])
+        assert abs(parameter[0] - first_step) > abs(first_step)
+
+    def test_adam_moves_against_gradient(self):
+        parameter = np.array([1.0])
+        Adam(learning_rate=0.1).step([parameter], [np.array([1.0])])
+        assert parameter[0] < 1.0
+
+
+class TestMLPClassifier:
+    def _xor_like_data(self):
+        rng = np.random.default_rng(0)
+        features = rng.uniform(-1, 1, size=(200, 2))
+        labels = ((features[:, 0] > 0) ^ (features[:, 1] > 0)).astype(float)
+        return features, labels
+
+    def test_output_in_unit_interval(self):
+        model = MLPClassifier(input_dim=3, hidden_dims=(4,), seed=0)
+        outputs = model.predict_proba(np.random.default_rng(0).standard_normal((10, 3)))
+        assert np.all((outputs >= 0) & (outputs <= 1))
+
+    def test_training_reduces_loss(self):
+        features, labels = self._xor_like_data()
+        model = MLPClassifier(input_dim=2, hidden_dims=(16, 8), learning_rate=0.02, seed=0)
+        history = model.fit(features, labels, epochs=40, patience=None)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_learns_linearly_separable_data(self):
+        rng = np.random.default_rng(1)
+        features = rng.standard_normal((200, 2))
+        labels = (features[:, 0] + features[:, 1] > 0).astype(float)
+        model = MLPClassifier(input_dim=2, hidden_dims=(8,), learning_rate=0.05, seed=0)
+        model.fit(features, labels, epochs=40)
+        accuracy = np.mean((model.predict_proba(features) > 0.5) == (labels > 0.5))
+        assert accuracy > 0.9
+
+    def test_fit_validates_shapes(self):
+        model = MLPClassifier(input_dim=2)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_early_stopping_limits_epochs(self):
+        rng = np.random.default_rng(2)
+        features = rng.standard_normal((50, 2))
+        labels = (features[:, 0] > 0).astype(float)
+        model = MLPClassifier(input_dim=2, hidden_dims=(4,), learning_rate=0.05, seed=0)
+        history = model.fit(features, labels, epochs=200, patience=5)
+        assert history.epochs < 200
+
+    def test_single_sample_prediction(self):
+        model = MLPClassifier(input_dim=4, hidden_dims=(4,), seed=0)
+        assert model.predict_proba(np.zeros(4)).shape == (1,)
+
+    def test_get_set_weights_roundtrip(self):
+        model = MLPClassifier(input_dim=3, hidden_dims=(5,), seed=0)
+        other = MLPClassifier(input_dim=3, hidden_dims=(5,), seed=99)
+        other.set_weights(model.get_weights())
+        inputs = np.random.default_rng(3).standard_normal((6, 3))
+        assert np.allclose(model.predict_proba(inputs), other.predict_proba(inputs))
+
+    def test_set_weights_validates_count(self):
+        model = MLPClassifier(input_dim=3, hidden_dims=(5,), seed=0)
+        with pytest.raises(ValueError):
+            model.set_weights([np.zeros((3, 5))])
+
+    def test_set_weights_validates_shapes(self):
+        model = MLPClassifier(input_dim=3, hidden_dims=(5,), seed=0)
+        weights = model.get_weights()
+        weights[0] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.set_weights(weights)

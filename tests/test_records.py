@@ -1,0 +1,213 @@
+"""Tests for repro.data.records: Schema, Record, RecordPair."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.data.records import (
+    MISSING_VALUE,
+    Record,
+    RecordPair,
+    Schema,
+    normalize_value,
+    pairs_from_ids,
+)
+from repro.exceptions import SchemaError
+
+from tests.helpers import make_record
+
+
+class TestNormalizeValue:
+    def test_none_becomes_missing(self):
+        assert normalize_value(None) == MISSING_VALUE
+
+    def test_nan_becomes_missing(self):
+        assert normalize_value(float("nan")) == MISSING_VALUE
+
+    def test_nan_string_becomes_missing(self):
+        assert normalize_value("NaN") == MISSING_VALUE
+
+    def test_null_string_becomes_missing(self):
+        assert normalize_value("null") == MISSING_VALUE
+
+    def test_plain_string_is_stripped(self):
+        assert normalize_value("  sony bravia ") == "sony bravia"
+
+    def test_number_is_stringified(self):
+        assert normalize_value(12.5) == "12.5"
+
+    def test_zero_is_preserved(self):
+        assert normalize_value(0) == "0"
+
+
+class TestSchema:
+    def test_from_names_preserves_order(self):
+        schema = Schema.from_names(["b", "a", "c"])
+        assert schema.attributes == ("b", "a", "c")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(())
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("a", "a"))
+
+    def test_len_and_contains(self):
+        schema = Schema.from_names(["name", "price"])
+        assert len(schema) == 2
+        assert "name" in schema
+        assert "missing" not in schema
+
+    def test_index(self):
+        schema = Schema.from_names(["name", "price"])
+        assert schema.index("price") == 1
+
+    def test_index_unknown_raises(self):
+        schema = Schema.from_names(["name"])
+        with pytest.raises(SchemaError):
+            schema.index("price")
+
+    def test_validate_subset_accepts_known(self):
+        schema = Schema.from_names(["name", "price"])
+        assert schema.validate_subset(["price"]) == ("price",)
+
+    def test_validate_subset_rejects_unknown(self):
+        schema = Schema.from_names(["name"])
+        with pytest.raises(SchemaError):
+            schema.validate_subset(["bogus"])
+
+    def test_iteration_yields_names(self):
+        schema = Schema.from_names(["x", "y"])
+        assert list(schema) == ["x", "y"]
+
+
+class TestRecord:
+    def test_from_raw_fills_missing_attributes(self):
+        schema = Schema.from_names(["name", "price"])
+        record = Record.from_raw("r1", {"name": "sony"}, schema)
+        assert record.value("price") == MISSING_VALUE
+
+    def test_from_raw_rejects_unknown_attributes(self):
+        schema = Schema.from_names(["name"])
+        with pytest.raises(SchemaError):
+            Record.from_raw("r1", {"bogus": "x"}, schema)
+
+    def test_value_of_unknown_attribute_raises(self):
+        record = make_record("L0", "a", "b", "1")
+        with pytest.raises(SchemaError):
+            record.value("bogus")
+
+    def test_tokens_split_on_whitespace(self):
+        record = make_record("L0", "sony bravia theater", "b", "1")
+        assert record.tokens("name") == ["sony", "bravia", "theater"]
+
+    def test_all_tokens_cover_all_attributes(self):
+        record = make_record("L0", "sony", "black micro", "10")
+        assert record.all_tokens() == ["sony", "black", "micro", "10"]
+
+    def test_is_missing(self):
+        schema = Schema.from_names(["name", "price"])
+        record = Record.from_raw("r1", {"name": "sony", "price": None}, schema)
+        assert record.is_missing("price")
+        assert not record.is_missing("name")
+
+    def test_replace_values_creates_new_record(self):
+        record = make_record("L0", "sony", "desc", "10")
+        updated = record.replace_values({"name": "canon"})
+        assert updated.value("name") == "canon"
+        assert record.value("name") == "sony"
+        assert updated.record_id != record.record_id
+
+    def test_replace_values_unknown_attribute_raises(self):
+        record = make_record("L0", "sony", "desc", "10")
+        with pytest.raises(SchemaError):
+            record.replace_values({"bogus": "x"})
+
+    def test_mask_blanks_attributes(self):
+        record = make_record("L0", "sony", "desc", "10")
+        masked = record.mask(["name", "price"])
+        assert masked.value("name") == MISSING_VALUE
+        assert masked.value("price") == MISSING_VALUE
+        assert masked.value("description") == "desc"
+
+    def test_as_text_skips_missing(self):
+        schema = Schema.from_names(["name", "price"])
+        record = Record.from_raw("r1", {"name": "sony", "price": None}, schema)
+        assert record.as_text() == "sony"
+
+    def test_as_dict_is_a_copy(self):
+        record = make_record("L0", "sony", "desc", "10")
+        as_dict = record.as_dict()
+        as_dict["name"] = "changed"
+        assert record.value("name") == "sony"
+
+    def test_equality_by_content(self):
+        first = make_record("L0", "sony", "desc", "10")
+        second = make_record("L0", "sony", "desc", "10")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality_after_change(self):
+        first = make_record("L0", "sony", "desc", "10")
+        second = first.replace_values({"name": "canon"}, suffix="")
+        assert first != second
+
+
+class TestRecordPair:
+    def test_pair_id(self, match_pair):
+        assert match_pair.pair_id == ("L0", "R0")
+
+    def test_with_left_preserves_label(self, match_pair):
+        new_left = make_record("L9", "x", "y", "1")
+        updated = match_pair.with_left(new_left)
+        assert updated.left.record_id == "L9"
+        assert updated.label == match_pair.label
+
+    def test_with_right_preserves_label(self, match_pair):
+        new_right = make_record("R9", "x", "y", "1", source="V")
+        updated = match_pair.with_right(new_right)
+        assert updated.right.record_id == "R9"
+        assert updated.label == match_pair.label
+
+    def test_with_label(self, match_pair):
+        assert match_pair.with_label(False).label is False
+        assert match_pair.with_label(None).label is None
+
+    def test_attribute_names_are_prefixed(self, match_pair):
+        names = match_pair.attribute_names()
+        assert names[0].startswith("left_")
+        assert names[-1].startswith("right_")
+        assert len(names) == 6
+
+    def test_as_flat_dict_roundtrip(self, match_pair):
+        flat = match_pair.as_flat_dict()
+        assert flat["left_name"] == match_pair.left.value("name")
+        assert flat["right_price"] == match_pair.right.value("price")
+
+
+class TestPairsFromIds:
+    def test_builds_pairs(self, sources):
+        left, right = sources
+        left_index = {record.record_id: record for record in left}
+        right_index = {record.record_id: record for record in right}
+        pairs = pairs_from_ids(left_index, right_index, [("L0", "R0", True), ("L1", "R2", False)])
+        assert len(pairs) == 2
+        assert pairs[0].label is True
+        assert pairs[1].label is False
+
+    def test_unknown_left_id_raises(self, sources):
+        left, right = sources
+        left_index = {record.record_id: record for record in left}
+        right_index = {record.record_id: record for record in right}
+        with pytest.raises(SchemaError):
+            pairs_from_ids(left_index, right_index, [("NOPE", "R0", True)])
+
+    def test_unknown_right_id_raises(self, sources):
+        left, right = sources
+        left_index = {record.record_id: record for record in left}
+        right_index = {record.record_id: record for record in right}
+        with pytest.raises(SchemaError):
+            pairs_from_ids(left_index, right_index, [("L0", "NOPE", True)])

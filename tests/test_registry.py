@@ -1,0 +1,87 @@
+"""Tests for repro.data.registry: the 12-dataset benchmark registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.registry import (
+    BENCHMARK_CODES,
+    benchmark_info,
+    list_benchmarks,
+    load_benchmark,
+    table1_statistics,
+)
+from repro.exceptions import DatasetError
+
+EXPECTED_WIDTHS = {
+    "AB": 3, "AG": 3, "BA": 4, "DA": 4, "DS": 4, "FZ": 6, "IA": 8, "WA": 5,
+    "DDA": 4, "DDS": 4, "DIA": 8, "DWA": 5,
+}
+
+
+class TestRegistryMetadata:
+    def test_twelve_benchmarks_registered(self):
+        assert len(BENCHMARK_CODES) == 12
+        assert len(list_benchmarks()) == 12
+
+    def test_codes_match_paper_table1(self):
+        assert set(BENCHMARK_CODES) == set(EXPECTED_WIDTHS)
+
+    @pytest.mark.parametrize("code", BENCHMARK_CODES)
+    def test_schema_width_matches_paper(self, code):
+        assert benchmark_info(code).attributes == EXPECTED_WIDTHS[code]
+
+    def test_dirty_flags(self):
+        assert benchmark_info("DDA").dirty is True
+        assert benchmark_info("DA").dirty is False
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(DatasetError):
+            benchmark_info("XYZ")
+
+    def test_lookup_is_case_insensitive(self):
+        assert benchmark_info("ab").code == "AB"
+
+    def test_describe_mentions_code(self):
+        assert "AB" in benchmark_info("AB").describe()
+
+
+class TestLoadBenchmark:
+    def test_load_returns_dataset_with_right_width(self):
+        dataset = load_benchmark("FZ", scale=0.5)
+        assert len(dataset.left_schema) == 6
+
+    def test_load_is_memoised(self):
+        first = load_benchmark("BA", scale=0.5)
+        second = load_benchmark("BA", scale=0.5)
+        assert first is second
+
+    def test_scale_shrinks_sources(self):
+        small = load_benchmark("AB", scale=0.25)
+        large = load_benchmark("AB", scale=1.0)
+        assert len(small.left) < len(large.left)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            load_benchmark("AB", scale=0.0)
+
+    def test_dirty_dataset_has_misplaced_values(self):
+        dirty = load_benchmark("DDA", scale=0.5)
+        clean = load_benchmark("DA", scale=0.5)
+        # Dirty variants must exhibit missing values created by misplacement.
+        dirty_missing = sum(
+            1 for record in dirty.left for value in record.values.values() if not value
+        )
+        clean_missing = sum(
+            1 for record in clean.left for value in record.values.values() if not value
+        )
+        assert dirty_missing > clean_missing
+
+
+class TestTable1:
+    def test_statistics_cover_all_datasets(self):
+        rows = table1_statistics(scale=0.25)
+        assert [row["dataset"] for row in rows] == list(BENCHMARK_CODES)
+        for row in rows:
+            assert row["matches"] > 0
+            assert row["attributes"] == EXPECTED_WIDTHS[row["dataset"]]

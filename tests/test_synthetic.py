@@ -1,0 +1,125 @@
+"""Tests for repro.data.synthetic: entity generators and dataset generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.records import MISSING_VALUE
+from repro.data.synthetic import (
+    ENTITY_GENERATORS,
+    SyntheticConfig,
+    ViewSpec,
+    beer_views,
+    bibliographic_views,
+    generate_dataset,
+    music_views,
+    product_views,
+    render_view,
+    restaurant_views,
+)
+from repro.exceptions import DatasetError
+
+
+class TestEntityGenerators:
+    @pytest.mark.parametrize("domain", sorted(ENTITY_GENERATORS))
+    def test_generators_produce_non_empty_entities(self, domain):
+        rng = random.Random(0)
+        entity = ENTITY_GENERATORS[domain](rng, 0)
+        assert entity
+        assert all(isinstance(value, str) and value for value in entity.values())
+
+    def test_product_entity_has_expected_fields(self):
+        entity = ENTITY_GENERATORS["product"](random.Random(1), 0)
+        assert {"name", "description", "price", "manufacturer"} <= set(entity)
+
+    def test_bibliographic_entity_has_expected_fields(self):
+        entity = ENTITY_GENERATORS["bibliographic"](random.Random(1), 0)
+        assert set(entity) == {"title", "authors", "venue", "year"}
+
+
+class TestViews:
+    def test_render_view_respects_schema(self):
+        left_view, _ = product_views(attributes=3)
+        entity = ENTITY_GENERATORS["product"](random.Random(2), 0)
+        record = render_view(entity, left_view, "X0", random.Random(2))
+        assert record.attribute_names() == left_view.schema.attributes
+
+    def test_zero_noise_zero_missing_preserves_content(self):
+        view = ViewSpec(source_tag="U", attribute_map={"name": ("name",)}, noise=0.0, missing_rate=0.0)
+        entity = {"name": "sony bravia theater"}
+        record = render_view(entity, view, "X0", random.Random(3))
+        assert record.value("name") == "sony bravia theater"
+
+    def test_full_missing_rate_blanks_everything(self):
+        view = ViewSpec(source_tag="U", attribute_map={"name": ("name",)}, noise=0.0, missing_rate=1.0)
+        record = render_view({"name": "sony"}, view, "X0", random.Random(3))
+        assert record.value("name") == MISSING_VALUE
+
+    @pytest.mark.parametrize(
+        "factory, width",
+        [(beer_views, 4), (restaurant_views, 6), (music_views, 8), (bibliographic_views, 4)],
+    )
+    def test_view_factories_have_expected_width(self, factory, width):
+        left_view, right_view = factory()
+        assert len(left_view.schema) == width
+        assert len(right_view.schema) == width
+
+    def test_product_views_reject_unknown_width(self):
+        with pytest.raises(DatasetError):
+            product_views(attributes=7)
+
+
+class TestGenerateDataset:
+    @pytest.fixture(scope="class")
+    def config(self):
+        left_view, right_view = product_views(attributes=3)
+        return SyntheticConfig(
+            name="TEST", domain="product", left_view=left_view, right_view=right_view,
+            entities=40, shared_fraction=0.5, extra_left=10, extra_right=10, seed=9,
+        )
+
+    def test_generation_is_deterministic(self, config):
+        first = generate_dataset(config)
+        second = generate_dataset(config)
+        assert [r.values for r in first.left] == [r.values for r in second.left]
+        assert [p.pair_id for p in first.train] == [p.pair_id for p in second.train]
+
+    def test_match_count_matches_shared_entities(self, config):
+        dataset = generate_dataset(config)
+        assert len(dataset.matches()) == int(config.entities * config.shared_fraction)
+
+    def test_sources_have_expected_sizes(self, config):
+        dataset = generate_dataset(config)
+        shared = int(config.entities * config.shared_fraction)
+        assert len(dataset.left) == shared + config.extra_left
+        assert len(dataset.right) == shared + config.extra_right
+
+    def test_matching_pairs_share_vocabulary(self, config):
+        dataset = generate_dataset(config)
+        match = dataset.matches()[0]
+        left_tokens = set(match.left.as_text().split())
+        right_tokens = set(match.right.as_text().split())
+        assert left_tokens & right_tokens
+
+    def test_unknown_domain_rejected(self, config):
+        bad = SyntheticConfig(
+            name="BAD", domain="unknown", left_view=config.left_view, right_view=config.right_view
+        )
+        with pytest.raises(DatasetError):
+            generate_dataset(bad)
+
+    def test_scaled_config_shrinks_entities(self, config):
+        scaled = config.scaled(0.5)
+        assert scaled.entities == 20
+        assert scaled.entities < config.entities
+
+    def test_different_seeds_give_different_data(self, config):
+        other = SyntheticConfig(
+            name="TEST2", domain="product", left_view=config.left_view, right_view=config.right_view,
+            entities=40, shared_fraction=0.5, extra_left=10, extra_right=10, seed=10,
+        )
+        first = generate_dataset(config)
+        second = generate_dataset(other)
+        assert [r.values for r in first.left] != [r.values for r in second.left]

@@ -1,0 +1,130 @@
+"""Tests for repro.data.table.DataSource."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.records import Record, Schema
+from repro.data.table import DataSource
+from repro.exceptions import DatasetError, SchemaError
+
+from tests.helpers import LEFT_SCHEMA, make_record
+
+
+class TestDataSourceConstruction:
+    def test_records_are_indexed_by_id(self, sources):
+        left, _ = sources
+        assert left.get("L0").value("name").startswith("sony")
+
+    def test_duplicate_ids_rejected(self):
+        records = [make_record("L0", "a", "b", "1"), make_record("L0", "c", "d", "2")]
+        with pytest.raises(DatasetError):
+            DataSource(name="dup", schema=LEFT_SCHEMA, records=records)
+
+    def test_schema_mismatch_rejected(self):
+        schema = Schema.from_names(["only"])
+        bad = Record.from_raw("x", {"only": "value"}, schema)
+        with pytest.raises(SchemaError):
+            DataSource(name="bad", schema=LEFT_SCHEMA, records=[bad])
+
+    def test_len_and_iteration(self, sources):
+        left, _ = sources
+        assert len(left) == 6
+        assert len(list(left)) == 6
+
+    def test_contains_by_id(self, sources):
+        left, _ = sources
+        assert "L0" in left
+        assert "missing" not in left
+
+
+class TestDataSourceOperations:
+    def test_add_validates_schema(self, sources):
+        left, _ = sources
+        schema = Schema.from_names(["only"])
+        with pytest.raises(SchemaError):
+            left.add(Record.from_raw("new", {"only": "v"}, schema))
+
+    def test_add_rejects_duplicate_id(self, sources):
+        left, _ = sources
+        with pytest.raises(DatasetError):
+            left.add(make_record("L0", "a", "b", "1"))
+
+    def test_add_appends(self, sources):
+        left, _ = sources
+        left.add(make_record("L99", "new product", "new description", "5"))
+        assert "L99" in left
+        assert len(left) == 7
+
+    def test_get_unknown_raises(self, sources):
+        left, _ = sources
+        with pytest.raises(DatasetError):
+            left.get("does-not-exist")
+
+    def test_ids_order(self, sources):
+        left, _ = sources
+        assert left.ids()[:3] == ["L0", "L1", "L2"]
+
+    def test_sample_respects_exclusions(self, sources):
+        left, _ = sources
+        sampled = left.sample(10, rng=random.Random(0), exclude=["L0"])
+        assert all(record.record_id != "L0" for record in sampled)
+
+    def test_sample_caps_at_population(self, sources):
+        left, _ = sources
+        assert len(left.sample(100)) == len(left)
+
+    def test_sample_is_deterministic_given_rng(self, sources):
+        left, _ = sources
+        first = [r.record_id for r in left.sample(3, rng=random.Random(42))]
+        second = [r.record_id for r in left.sample(3, rng=random.Random(42))]
+        assert first == second
+
+    def test_filter_returns_new_source(self, sources):
+        left, _ = sources
+        filtered = left.filter(lambda record: "sony" in record.value("name"))
+        assert len(filtered) == 1
+        assert len(left) == 6
+
+    def test_vocabulary_whole_source(self, sources):
+        left, _ = sources
+        vocabulary = left.vocabulary()
+        assert "sony" in vocabulary
+        assert "bose" in vocabulary
+
+    def test_vocabulary_single_attribute(self, sources):
+        left, _ = sources
+        vocabulary = left.vocabulary("price")
+        assert "199.99" in vocabulary
+        assert "sony" not in vocabulary
+
+    def test_distinct_values_excludes_missing(self):
+        records = [
+            make_record("a", "sony", "", "1"),
+            make_record("b", "sony", "desc", "2"),
+        ]
+        source = DataSource(name="s", schema=LEFT_SCHEMA, records=records)
+        assert source.distinct_values("description") == ["desc"]
+        assert source.distinct_values("name") == ["sony"]
+
+    def test_value_statistics_shape(self, sources):
+        left, _ = sources
+        stats = left.value_statistics()
+        assert set(stats) == set(LEFT_SCHEMA.attributes)
+        for attribute_stats in stats.values():
+            assert 0.0 <= attribute_stats["missing_rate"] <= 1.0
+            assert attribute_stats["distinct"] >= 0
+
+    def test_from_rows_generates_ids(self):
+        schema = Schema.from_names(["name"])
+        source = DataSource.from_rows("rows", schema, [{"name": "a"}, {"name": "b"}])
+        assert source.ids() == ["rows-0", "rows-1"]
+
+    def test_from_rows_with_id_attribute(self):
+        schema = Schema.from_names(["name"])
+        source = DataSource.from_rows(
+            "rows", schema, [{"id": "x1", "name": "a"}], id_attribute="id"
+        )
+        assert source.ids() == ["x1"]

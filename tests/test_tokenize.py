@@ -1,0 +1,82 @@
+"""Tests for repro.text.tokenize."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.tokenize import (
+    iter_sentences,
+    qgrams,
+    token_ngrams,
+    tokenize,
+    truncate_tokens,
+    whitespace_tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases_by_default(self):
+        assert tokenize("Sony BRAVIA") == ["sony", "bravia"]
+
+    def test_lowercase_can_be_disabled(self):
+        assert tokenize("Sony", lowercase=False) == ["ony"] or tokenize("Sony", lowercase=False) == []
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_model_numbers_stay_together(self):
+        assert "dav-is50" in tokenize("sony bravia dav-is50 / b")
+
+    def test_punctuation_is_stripped(self):
+        assert tokenize("hello, world!") == ["hello", "world"]
+
+    def test_numbers_are_tokens(self):
+        assert tokenize("price 379.72 usd") == ["price", "379.72", "usd"]
+
+
+class TestWhitespaceTokenize:
+    def test_preserves_punctuation(self):
+        assert whitespace_tokenize("a , b") == ["a", ",", "b"]
+
+    def test_empty(self):
+        assert whitespace_tokenize("") == []
+
+
+class TestQgrams:
+    def test_padded_qgram_count(self):
+        grams = qgrams("abc", q=3)
+        assert len(grams) == len("##abc##") - 2
+
+    def test_unpadded_short_string(self):
+        assert qgrams("ab", q=3, pad=False) == ["ab"]
+
+    def test_empty_string(self):
+        assert qgrams("", q=3) == []
+
+    def test_qgrams_are_lowercased(self):
+        assert all(gram == gram.lower() for gram in qgrams("ABC"))
+
+
+class TestTokenNgrams:
+    def test_bigrams(self):
+        assert token_ngrams(["a", "b", "c"], n=2) == [("a", "b"), ("b", "c")]
+
+    def test_too_short_sequence(self):
+        assert token_ngrams(["a"], n=2) == []
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            token_ngrams(["a"], n=0)
+
+
+class TestMisc:
+    def test_iter_sentences_splits_on_separators(self):
+        assert list(iter_sentences("first part. second part; third")) == [
+            "first part", "second part", "third"
+        ]
+
+    def test_truncate_tokens_shortens(self):
+        assert truncate_tokens("a b c d", 2) == "a b"
+
+    def test_truncate_tokens_noop_when_short(self):
+        assert truncate_tokens("a b", 5) == "a b"

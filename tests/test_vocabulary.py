@@ -1,0 +1,74 @@
+"""Tests for repro.text.vocabulary."""
+
+from __future__ import annotations
+
+from repro.text.vocabulary import Vocabulary
+
+from tests.helpers import make_record
+
+
+class TestVocabulary:
+    def test_build_assigns_unknown_to_zero(self):
+        vocabulary = Vocabulary()
+        vocabulary.add_text("sony bravia")
+        vocabulary.build()
+        assert vocabulary.id_of("never-seen") == 0
+
+    def test_known_tokens_have_positive_ids(self):
+        vocabulary = Vocabulary()
+        vocabulary.add_text("sony bravia sony")
+        vocabulary.build()
+        assert vocabulary.id_of("sony") > 0
+        assert vocabulary.id_of("bravia") > 0
+
+    def test_most_frequent_token_has_smallest_id(self):
+        vocabulary = Vocabulary()
+        vocabulary.add_text("sony sony sony bravia")
+        vocabulary.build()
+        assert vocabulary.id_of("sony") < vocabulary.id_of("bravia")
+
+    def test_min_frequency_filters_rare_tokens(self):
+        vocabulary = Vocabulary(min_frequency=2)
+        vocabulary.add_text("sony sony bravia")
+        vocabulary.build()
+        assert "bravia" not in vocabulary
+        assert "sony" in vocabulary
+
+    def test_max_size_caps_vocabulary(self):
+        vocabulary = Vocabulary(max_size=1)
+        vocabulary.add_text("sony bravia theater")
+        vocabulary.build()
+        assert len(vocabulary) == 2  # <unk> plus one token
+
+    def test_encode_maps_tokens(self):
+        vocabulary = Vocabulary()
+        vocabulary.add_text("sony bravia")
+        vocabulary.build()
+        encoded = vocabulary.encode("sony unknown")
+        assert encoded[0] > 0
+        assert encoded[1] == 0
+
+    def test_add_record_counts_all_attributes(self):
+        vocabulary = Vocabulary()
+        vocabulary.add_record(make_record("L0", "sony", "black micro", "10"))
+        vocabulary.build()
+        assert "black" in vocabulary
+        assert "10" in vocabulary
+
+    def test_frequency(self):
+        vocabulary = Vocabulary()
+        vocabulary.add_text("sony sony bravia")
+        assert vocabulary.frequency("sony") == 2
+        assert vocabulary.frequency("missing") == 0
+
+    def test_document_frequency_weights_are_positive(self):
+        vocabulary = Vocabulary()
+        vocabulary.add_text("sony bravia")
+        vocabulary.build()
+        weights = vocabulary.document_frequency_weights(total_documents=10)
+        assert weights["sony"] > 0
+
+    def test_iteration_is_lazy_built(self):
+        vocabulary = Vocabulary()
+        vocabulary.add_text("sony")
+        assert "sony" in list(vocabulary)
