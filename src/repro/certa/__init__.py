@@ -7,6 +7,7 @@ from repro.certa.lattice import (
     ExplorationStats,
     LatticeNode,
     explore_lattice,
+    explore_lattices,
     monotonicity_violations,
 )
 from repro.certa.perturbation import perturb_record, perturbed_pair
@@ -24,6 +25,7 @@ __all__ = [
     "TriangleSearchResult",
     "augment_records",
     "explore_lattice",
+    "explore_lattices",
     "find_open_triangles",
     "monotonicity_violations",
     "perturb_record",

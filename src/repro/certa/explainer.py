@@ -29,7 +29,13 @@ from repro.explain.base import (
     prefixed_attribute,
 )
 from repro.models.base import MATCH_THRESHOLD, ERModel
-from repro.certa.lattice import AttributeLattice, ExplorationStats, explore_lattice
+from repro.models.engine import EngineStats, PredictionEngine
+from repro.certa.lattice import (
+    AttributeLattice,
+    ExplorationStats,
+    explore_lattice,
+    explore_lattices,
+)
 from repro.certa.perturbation import perturbed_pair
 from repro.certa.triangles import OpenTriangle, TriangleSearchResult, find_open_triangles
 
@@ -46,6 +52,14 @@ class CertaExplanation:
     flips: int
     exploration: list[ExplorationStats] = field(default_factory=list)
     sufficiency_by_set: dict[tuple[str, frozenset[str]], float] = field(default_factory=dict)
+    #: Engine counter delta over the whole explanation (triangle search,
+    #: lattice exploration and counterfactual scoring); None when the
+    #: explainer ran without an engine snapshot.
+    engine_stats: EngineStats | None = None
+    #: Engine counter delta restricted to lattice exploration: its ``batches``
+    #: field is the number of model invocations the lattice work cost, to be
+    #: compared against :meth:`performed_predictions` (node evaluations).
+    lattice_engine_stats: EngineStats | None = None
 
     @property
     def prediction(self) -> float:
@@ -79,9 +93,28 @@ class CertaExplanation:
         """Model calls avoided thanks to the monotonicity assumption."""
         return sum(stats.saved_predictions for stats in self.exploration)
 
+    def lattice_batches(self) -> int:
+        """Model invocations spent on lattice nodes (0 when not tracked).
+
+        Under frontier batching this is roughly one invocation per lattice
+        level rather than one per node, the saving quantified by
+        ``benchmarks/bench_prediction_engine.py``.
+        """
+        return self.lattice_engine_stats.batches if self.lattice_engine_stats else 0
+
 
 class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
-    """ER-aware saliency and counterfactual explainer (the paper's contribution)."""
+    """ER-aware saliency and counterfactual explainer (the paper's contribution).
+
+    All model invocations — triangle search, lattice exploration and
+    counterfactual scoring — are routed through a
+    :class:`~repro.models.engine.PredictionEngine`.  With ``batched=True``
+    (the default) the lattices of *all* open triangles are explored together,
+    level by level, so each frontier costs a handful of batched model calls
+    instead of one call per node; ``batched=False`` keeps the node-at-a-time
+    reference path, which the equivalence test suite checks produces identical
+    explanations.
+    """
 
     method_name = "certa"
 
@@ -98,8 +131,13 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
         max_examples: int = 10,
         strict: bool = False,
         seed: int = 0,
+        engine: PredictionEngine | None = None,
+        batched: bool = True,
+        batch_size: int = 256,
     ) -> None:
-        SaliencyExplainer.__init__(self, model)
+        SaliencyExplainer.__init__(
+            self, model, engine=engine or PredictionEngine(model, batch_size=batch_size)
+        )
         self.left_source = left_source
         self.right_source = right_source
         self.num_triangles = num_triangles
@@ -110,12 +148,13 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
         self.max_examples = max_examples
         self.strict = strict
         self.seed = seed
+        self.batched = batched
 
     # ------------------------------------------------------------------ helpers
 
     def _find_triangles(self, pair: RecordPair, num_triangles: int | None = None) -> TriangleSearchResult:
         return find_open_triangles(
-            self.model,
+            self.engine,
             pair,
             self.left_source,
             self.right_source,
@@ -131,23 +170,67 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
         triangle: OpenTriangle,
         original_match: bool,
     ) -> tuple[AttributeLattice, ExplorationStats]:
-        """Build and explore the lattice of one open triangle."""
+        """Build and explore the lattice of one open triangle (sequential path)."""
         free_attributes = list(triangle.free_record.attribute_names())
         lattice = AttributeLattice(free_attributes)
 
         def evaluate(attributes: frozenset[str]) -> bool:
             perturbed = perturbed_pair(triangle.pair, triangle.side, triangle.support, attributes)
-            score = self.model.predict_pair(perturbed)
+            score = self.engine.predict_pair(perturbed)
             return (score > MATCH_THRESHOLD) != original_match
 
         stats = explore_lattice(lattice, evaluate, monotone=self.monotone)
         return lattice, stats
 
+    def _process_triangles(
+        self,
+        triangles: Sequence[OpenTriangle],
+        original_match: bool,
+    ) -> tuple[list[AttributeLattice], list[ExplorationStats]]:
+        """Explore every triangle's lattice, batching frontiers when enabled.
+
+        The batched path synchronises the breadth-first levels of all
+        lattices: the unresolved nodes of each level across all triangles are
+        mapped to perturbed pairs and scored through the engine in one call.
+        The sequential path evaluates node by node and exists as the reference
+        for the equivalence suite; both produce identical lattices.
+        """
+        if not self.batched:
+            lattices: list[AttributeLattice] = []
+            exploration: list[ExplorationStats] = []
+            for triangle in triangles:
+                lattice, stats = self._process_triangle(triangle, original_match)
+                lattices.append(lattice)
+                exploration.append(stats)
+            return lattices, exploration
+
+        lattices = [
+            AttributeLattice(list(triangle.free_record.attribute_names()))
+            for triangle in triangles
+        ]
+
+        def evaluate_batch(requests: Sequence[tuple[int, frozenset[str]]]) -> list[bool]:
+            pairs = [
+                perturbed_pair(
+                    triangles[index].pair,
+                    triangles[index].side,
+                    triangles[index].support,
+                    attributes,
+                )
+                for index, attributes in requests
+            ]
+            scores = self.engine.predict_proba(pairs)
+            return [(score > MATCH_THRESHOLD) != original_match for score in scores]
+
+        exploration = explore_lattices(lattices, evaluate_batch, monotone=self.monotone)
+        return lattices, exploration
+
     # ---------------------------------------------------------------- main API
 
     def explain_full(self, pair: RecordPair, num_triangles: int | None = None) -> CertaExplanation:
         """Run the complete CERTA algorithm for one prediction."""
-        original_score = self.model.predict_pair(pair)
+        engine_start = self.engine.stats
+        original_score = self.engine.predict_pair(pair)
         original_match = original_score > MATCH_THRESHOLD
 
         search = self._find_triangles(pair, num_triangles)
@@ -157,7 +240,7 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
                     "no open triangles could be found for this prediction; "
                     "the data sources contain no record with the opposite prediction"
                 )
-            return self._degenerate_explanation(pair, original_score, search)
+            return self._degenerate_explanation(pair, original_score, search, engine_start)
 
         # Counters of Algorithm 1: necessity N[a], sufficiency S[A], flips f.
         necessity: dict[str, int] = {}
@@ -165,12 +248,13 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
         flips = 0
         triangles_by_side = {"left": 0, "right": 0}
         flipping_triangles: dict[tuple[str, frozenset[str]], list[OpenTriangle]] = {}
-        exploration: list[ExplorationStats] = []
 
-        for triangle in search.triangles:
+        exploration_start = self.engine.stats
+        lattices, exploration = self._process_triangles(search.triangles, original_match)
+        lattice_engine_stats = self.engine.stats - exploration_start
+
+        for triangle, lattice in zip(search.triangles, lattices):
             triangles_by_side[triangle.side] += 1
-            lattice, stats = self._process_triangle(triangle, original_match)
-            exploration.append(stats)
             candidate_sets = set(lattice.candidate_sets())
             for node in lattice.flipped_nodes():
                 flips += 1
@@ -224,7 +308,7 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
             attribute_set = tuple(sorted(prefixed_attribute(side, attribute) for attribute in attributes))
             for triangle in flipping_triangles.get(best_key, [])[: self.max_examples]:
                 perturbed = perturbed_pair(triangle.pair, side, triangle.support, attributes)
-                score = float(self.model.predict_pair(perturbed))
+                score = float(self.engine.predict_pair(perturbed))
                 examples.append(
                     CounterfactualExample(
                         pair=perturbed,
@@ -252,10 +336,16 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
             flips=flips,
             exploration=exploration,
             sufficiency_by_set=sufficiency_probability,
+            engine_stats=self.engine.stats - engine_start,
+            lattice_engine_stats=lattice_engine_stats,
         )
 
     def _degenerate_explanation(
-        self, pair: RecordPair, original_score: float, search: TriangleSearchResult
+        self,
+        pair: RecordPair,
+        original_score: float,
+        search: TriangleSearchResult,
+        engine_start: EngineStats | None = None,
     ) -> CertaExplanation:
         """All-zero explanation returned when no open triangle exists.
 
@@ -292,6 +382,8 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
             flips=0,
             exploration=[],
             sufficiency_by_set={},
+            engine_stats=(self.engine.stats - engine_start) if engine_start is not None else None,
+            lattice_engine_stats=EngineStats(),
         )
 
     # ------------------------------------------------- protocol implementations

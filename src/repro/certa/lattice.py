@@ -8,6 +8,12 @@ classifier assumption a flip at node ``A`` implies a flip at every superset of
 ``A``, so a bottom-up breadth-first exploration only needs to *test* nodes that
 cannot be inferred — the saved predictions are quantified in Table 7 of the
 paper.
+
+Two exploration drivers share those semantics: :func:`explore_lattice` walks
+one lattice node-by-node (the reference implementation), while
+:func:`explore_lattices` synchronises the breadth-first frontier across many
+lattices so each level can be resolved with one batched model call (see
+:mod:`repro.models.engine`).  Both produce identical tags on every node.
 """
 
 from __future__ import annotations
@@ -39,11 +45,30 @@ class LatticeNode:
 
 @dataclass
 class ExplorationStats:
-    """Bookkeeping of one lattice exploration (feeds Table 7)."""
+    """Bookkeeping of one lattice exploration (feeds Table 7).
+
+    ``attributes`` / ``expected_predictions`` / ``performed_predictions`` are
+    the per-lattice counters of the paper: a lattice over ``l`` attributes
+    expects ``2^l - 2`` predictions (neither the empty nor the full set is
+    evaluated) and performs fewer under the monotonicity assumption.
+
+    The two batch fields describe how the performed predictions were issued:
+
+    ``batched_rounds``
+        Number of frontier rounds in which this lattice contributed at least
+        one node to a batched evaluation (see :func:`explore_lattices`).
+        Sequential exploration leaves it at 0.
+    ``largest_frontier``
+        Most nodes this lattice contributed to a single round — the peak
+        per-lattice share of a batched model call.  Sequential exploration
+        leaves it at 0.
+    """
 
     attributes: int
     expected_predictions: int
     performed_predictions: int
+    batched_rounds: int = 0
+    largest_frontier: int = 0
 
     @property
     def saved_predictions(self) -> int:
@@ -166,6 +191,19 @@ class AttributeLattice:
         return [node.attributes for node in self.flipped_nodes() if node.attributes != full]
 
 
+def _infer_full_set_tag(lattice: AttributeLattice) -> None:
+    """Tag the full attribute set from every smaller node's tag (footnote 2).
+
+    Shared by both exploration drivers so the never-evaluated full set keeps
+    byte-identical semantics on the sequential and batched paths.
+    """
+    full = frozenset(lattice.attributes)
+    any_flip = any(
+        node.flip for node in lattice.nodes() if node.tagged and node.attributes != full
+    )
+    lattice.tag(full, bool(any_flip), evaluated=False)
+
+
 def explore_lattice(
     lattice: AttributeLattice,
     evaluate: Callable[[frozenset[str]], bool],
@@ -190,11 +228,7 @@ def explore_lattice(
             if node.tagged:
                 continue
             if node.attributes == full_set and len(lattice.attributes) > 1:
-                any_flip = any(
-                    other.flip for other in lattice.nodes()
-                    if other.tagged and other.attributes != full_set
-                )
-                lattice.tag(node.attributes, bool(any_flip), evaluated=False)
+                _infer_full_set_tag(lattice)
                 continue
             flip = bool(evaluate(node.attributes))
             performed += 1
@@ -207,6 +241,86 @@ def explore_lattice(
         expected_predictions=expected,
         performed_predictions=performed,
     )
+
+
+def explore_lattices(
+    lattices: Sequence[AttributeLattice],
+    evaluate_batch: Callable[[Sequence[tuple[int, frozenset[str]]]], Sequence[bool]],
+    monotone: bool = True,
+) -> list[ExplorationStats]:
+    """Frontier-batched breadth-first exploration of several lattices at once.
+
+    This is the batched counterpart of :func:`explore_lattice`: instead of
+    evaluating one node at a time, every round collects the *frontier* — all
+    still-untagged nodes of the current subset size across **all** lattices —
+    and resolves it with a single call to ``evaluate_batch``.  The callback
+    receives ``(lattice_index, attribute_set)`` requests and must return one
+    flip verdict per request, in order; callers typically map the requests to
+    perturbed record pairs and score them through a
+    :class:`~repro.models.engine.PredictionEngine`.
+
+    The result is node-for-node identical to running :func:`explore_lattice`
+    on each lattice separately: monotone propagation only ever tags *strict*
+    supersets, which live at strictly larger subset sizes, so the set of
+    nodes that need evaluation at size ``k`` is fully determined before the
+    round starts and cannot be changed by other size-``k`` evaluations.  Tags
+    and propagation are applied in deterministic request order after each
+    round.  The full attribute set keeps the sequential special case: it is
+    never evaluated, its tag being inferred once every smaller node of its
+    lattice is tagged (footnote 2 of the paper).
+
+    Returns one :class:`ExplorationStats` per lattice, in input order, with
+    the batch fields (``batched_rounds``, ``largest_frontier``) filled in.
+    """
+    lattices = list(lattices)
+    performed = [0] * len(lattices)
+    rounds = [0] * len(lattices)
+    largest = [0] * len(lattices)
+    full_sets = [frozenset(lattice.attributes) for lattice in lattices]
+    levels_by_lattice = [lattice.levels() for lattice in lattices]
+    max_levels = max((len(lattice.attributes) for lattice in lattices), default=0)
+
+    for level in range(1, max_levels + 1):
+        requests: list[tuple[int, LatticeNode]] = []
+        for index, lattice in enumerate(lattices):
+            if level > len(lattice.attributes):
+                continue
+            for node in levels_by_lattice[index][level - 1]:
+                if node.tagged:
+                    continue
+                if node.attributes == full_sets[index] and len(lattice.attributes) > 1:
+                    _infer_full_set_tag(lattice)
+                    continue
+                requests.append((index, node))
+        if not requests:
+            continue
+        verdicts = list(evaluate_batch([(index, node.attributes) for index, node in requests]))
+        if len(verdicts) != len(requests):
+            raise LatticeError(
+                f"evaluate_batch returned {len(verdicts)} verdicts for {len(requests)} requests"
+            )
+        contributions: dict[int, int] = {}
+        for (index, node), verdict in zip(requests, verdicts):
+            flip = bool(verdict)
+            lattices[index].tag(node.attributes, flip, evaluated=True)
+            performed[index] += 1
+            contributions[index] = contributions.get(index, 0) + 1
+            if flip and monotone:
+                lattices[index].propagate_flip(node.attributes)
+        for index, count in contributions.items():
+            rounds[index] += 1
+            largest[index] = max(largest[index], count)
+
+    return [
+        ExplorationStats(
+            attributes=len(lattice.attributes),
+            expected_predictions=2 ** len(lattice.attributes) - 2,
+            performed_predictions=performed[index],
+            batched_rounds=rounds[index],
+            largest_frontier=largest[index],
+        )
+        for index, lattice in enumerate(lattices)
+    ]
 
 
 def monotonicity_violations(

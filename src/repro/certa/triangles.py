@@ -19,7 +19,8 @@ from repro.data.blocking import overlap_score
 from repro.data.records import Record, RecordPair
 from repro.data.table import DataSource
 from repro.exceptions import TriangleError
-from repro.models.base import MATCH_THRESHOLD, ERModel
+from repro.models.base import MATCH_THRESHOLD
+from repro.models.engine import SupportsPairPrediction
 from repro.certa.augmentation import augment_records
 
 
@@ -81,13 +82,24 @@ def _ranked_candidates(
     When the search needs support records that *match* the pivot, records
     similar to the pivot are tried first; when it needs non-matching support
     records, a shuffled order is enough because most records do not match.
+
+    The ordering is a pure function of the candidate *set*, the pivot and the
+    seeded ``rng``: candidates are first canonicalised by record id, so both
+    the stable similarity sort and the shuffle are independent of the order in
+    which the source happens to iterate its records.  Equal similarity scores
+    are broken by record id, keeping triangle selection stable across runs.
     """
     candidates = [record for record in source if record.record_id != free.record_id]
     if want_match:
+        # The sort key is a total order (ids are unique within a source), so
+        # the result is already canonical regardless of iteration order.
         candidates.sort(
             key=lambda record: (-overlap_score(record, pivot), record.record_id)
         )
     else:
+        # The shuffle permutes whatever order it is given; canonicalise first
+        # so the permutation depends only on the id set and the seeded rng.
+        candidates.sort(key=lambda record: record.record_id)
         rng.shuffle(candidates)
     if max_candidates is not None:
         candidates = candidates[:max_candidates]
@@ -95,7 +107,7 @@ def _ranked_candidates(
 
 
 def _find_side_triangles(
-    model: ERModel,
+    model: SupportsPairPrediction,
     pair: RecordPair,
     side: str,
     source: DataSource,
@@ -156,7 +168,7 @@ def _find_side_triangles(
 
 
 def find_open_triangles(
-    model: ERModel,
+    model: SupportsPairPrediction,
     pair: RecordPair,
     left_source: DataSource,
     right_source: DataSource,

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 import random
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
@@ -66,6 +67,7 @@ class HarnessConfig:
     dice_candidates: int = 60
     fast_models: bool = True
     seed: int = 7
+    batch_size: int = 256
 
     def with_overrides(self, **overrides) -> "HarnessConfig":
         """Return a copy with some fields replaced."""
@@ -129,6 +131,7 @@ class ExperimentHarness:
         parameters = {
             "num_triangles": self.config.num_triangles,
             "seed": self.config.seed,
+            "batch_size": self.config.batch_size,
         }
         parameters.update(overrides)
         return CertaExplainer(model, dataset.left, dataset.right, **parameters)
@@ -298,6 +301,86 @@ class ExperimentHarness:
                         "diversity": float(np.mean(diversity_values)) if diversity_values else 0.0,
                     }
                 )
+        return rows
+
+    # ------------------------------------------------- prediction engine (bench)
+
+    def prediction_engine_rows(
+        self,
+        datasets: Sequence[str] | None = None,
+        model_name: str = "deepmatcher",
+        pairs_per_dataset: int = 3,
+        num_triangles: int | None = None,
+    ) -> list[dict[str, object]]:
+        """Batched vs sequential lattice exploration, per dataset.
+
+        For every dataset the same pairs are explained twice: once with
+        frontier-batched exploration (the default) and once with the
+        node-at-a-time reference path.  Each run gets a fresh
+        :class:`~repro.models.engine.PredictionEngine` and a cold model cache,
+        so the reported model invocations (``batches``) and wall-clock times
+        are comparable.  ``identical`` records whether the two paths produced
+        byte-identical saliency scores and golden sets — the equivalence the
+        test suite asserts, surfaced here as a continuous sanity check.
+        """
+        rows = []
+        tau = num_triangles or self.config.num_triangles
+        for code in datasets or self.config.datasets:
+            model = self.trained(model_name, code).model
+            pairs = self.sample_pairs(code, count=pairs_per_dataset)
+
+            def run(batched: bool) -> tuple[list[CertaExplanation], float]:
+                model.clear_cache()
+                explainer = self.certa_explainer(model, code, num_triangles=tau, batched=batched)
+                explanations = []
+                start = time.perf_counter()
+                for pair in pairs:
+                    try:
+                        explanations.append(explainer.explain_full(pair))
+                    except ExplanationError:
+                        continue
+                return explanations, time.perf_counter() - start
+
+            batched_runs, batched_seconds = run(batched=True)
+            sequential_runs, sequential_seconds = run(batched=False)
+            if not batched_runs:
+                continue
+
+            nodes = sum(explanation.performed_predictions() for explanation in batched_runs)
+            saved = sum(explanation.saved_predictions() for explanation in batched_runs)
+            lattice_batches = sum(explanation.lattice_batches() for explanation in batched_runs)
+            sequential_calls = sum(
+                explanation.lattice_batches() for explanation in sequential_runs
+            )
+            engine_totals = {"requests": 0, "hits": 0, "misses": 0, "batches": 0}
+            for explanation in batched_runs:
+                if explanation.engine_stats is not None:
+                    for key in engine_totals:
+                        engine_totals[key] += getattr(explanation.engine_stats, key)
+            identical = len(batched_runs) == len(sequential_runs) and all(
+                batched_one.saliency.scores == sequential_one.saliency.scores
+                and batched_one.counterfactual.attribute_set
+                == sequential_one.counterfactual.attribute_set
+                and batched_one.flips == sequential_one.flips
+                for batched_one, sequential_one in zip(batched_runs, sequential_runs)
+            )
+            rows.append(
+                {
+                    "dataset": code,
+                    "model": model_name,
+                    "pairs": len(batched_runs),
+                    "nodes_evaluated": nodes,
+                    "saved_predictions": saved,
+                    "lattice_batches": lattice_batches,
+                    "sequential_calls": sequential_calls,
+                    "call_reduction": (nodes / lattice_batches) if lattice_batches else 0.0,
+                    **engine_totals,
+                    "batched_seconds": batched_seconds,
+                    "sequential_seconds": sequential_seconds,
+                    "speedup": (sequential_seconds / batched_seconds) if batched_seconds else 0.0,
+                    "identical": identical,
+                }
+            )
         return rows
 
     # ----------------------------------------------------- monotonicity (Table 7)

@@ -19,7 +19,12 @@ from repro.explain.dice import DiceExplainer
 from repro.explain.landmark import LandmarkExplainer
 from repro.explain.lime import LimeExplainer, exponential_kernel, weighted_ridge
 from repro.explain.mojito import MojitoExplainer
-from repro.explain.sampling import AttributeValuePool, perturb_pair, sample_binary_perturbations
+from repro.explain.sampling import (
+    AttributeValuePool,
+    perturb_pair,
+    sample_binary_perturbations,
+    score_perturbations,
+)
 from repro.explain.sedc import LimeCExplainer, SedcCounterfactualExplainer, ShapCExplainer
 from repro.explain.shap import ShapExplainer, shapley_kernel_weight
 
@@ -47,6 +52,7 @@ __all__ = [
     "perturb_pair",
     "prefixed_attribute",
     "sample_binary_perturbations",
+    "score_perturbations",
     "shapley_kernel_weight",
     "split_prefixed",
     "weighted_ridge",

@@ -22,6 +22,7 @@ from typing import Iterable, Sequence
 from repro.data.records import RecordPair
 from repro.exceptions import ExplanationError
 from repro.models.base import MATCH_THRESHOLD, ERModel
+from repro.models.engine import PredictionEngine
 
 LEFT_PREFIX = "left_"
 RIGHT_PREFIX = "right_"
@@ -170,12 +171,20 @@ class CounterfactualExplanation:
 
 
 class SaliencyExplainer(ABC):
-    """Base class for saliency (feature-attribution) explainers."""
+    """Base class for saliency (feature-attribution) explainers.
+
+    Every explainer owns a :class:`~repro.models.engine.PredictionEngine`
+    through which all model invocations are routed: perturbed pairs are scored
+    in batches, memoised by content, and counted (``explainer.engine.stats``).
+    Pass a shared ``engine`` to pool the cache across several explainers of
+    the same model.
+    """
 
     method_name = "saliency"
 
-    def __init__(self, model: ERModel) -> None:
+    def __init__(self, model: ERModel, engine: PredictionEngine | None = None) -> None:
         self.model = model
+        self.engine = engine if engine is not None else PredictionEngine(model)
 
     @abstractmethod
     def explain(self, pair: RecordPair) -> SaliencyExplanation:
@@ -187,12 +196,17 @@ class SaliencyExplainer(ABC):
 
 
 class CounterfactualExplainer(ABC):
-    """Base class for counterfactual explainers."""
+    """Base class for counterfactual explainers.
+
+    Like :class:`SaliencyExplainer`, each instance scores candidate pairs
+    through a batching, memoising :class:`~repro.models.engine.PredictionEngine`.
+    """
 
     method_name = "counterfactual"
 
-    def __init__(self, model: ERModel) -> None:
+    def __init__(self, model: ERModel, engine: PredictionEngine | None = None) -> None:
         self.model = model
+        self.engine = engine if engine is not None else PredictionEngine(model)
 
     @abstractmethod
     def explain_counterfactual(self, pair: RecordPair) -> CounterfactualExplanation:

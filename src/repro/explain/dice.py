@@ -30,6 +30,7 @@ from repro.explain.base import (
 )
 from repro.explain.sampling import AttributeValuePool
 from repro.models.base import MATCH_THRESHOLD, ERModel
+from repro.models.engine import PredictionEngine
 from repro.text.similarity import attribute_similarity
 
 
@@ -61,8 +62,9 @@ class DiceExplainer(CounterfactualExplainer):
         max_changed_attributes: int | None = None,
         diversity_weight: float = 0.5,
         seed: int = 0,
+        engine: PredictionEngine | None = None,
     ) -> None:
-        super().__init__(model)
+        super().__init__(model, engine=engine)
         self.value_pool = AttributeValuePool.from_sources(left_source, right_source)
         self.total_candidates = total_candidates
         self.max_examples = max_examples
@@ -89,7 +91,7 @@ class DiceExplainer(CounterfactualExplainer):
             }
             batch_pairs.append(apply_attribute_changes(pair, changes))
             batch_changed.append(chosen)
-        scores = self.model.predict_proba(batch_pairs)
+        scores = self.engine.predict_proba(batch_pairs)
         for perturbed, changed, score in zip(batch_pairs, batch_changed, scores):
             candidates.append(
                 CounterfactualExample(
@@ -125,7 +127,7 @@ class DiceExplainer(CounterfactualExplainer):
 
     def explain_counterfactual(self, pair: RecordPair) -> CounterfactualExplanation:
         """Generate a diverse set of counterfactual examples for ``pair``."""
-        original_score = self.model.predict_pair(pair)
+        original_score = self.engine.predict_pair(pair)
         candidates = self._generate_candidates(pair, original_score)
         flipping = [candidate for candidate in candidates if candidate.flipped]
         selected = self._select_diverse(flipping)

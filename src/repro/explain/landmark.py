@@ -21,10 +21,15 @@ from repro.explain.base import (
 )
 from repro.explain.lime import LimeExplainer
 from repro.models.base import ERModel
+from repro.models.engine import PredictionEngine
 
 
 class LandmarkExplainer(SaliencyExplainer):
-    """Double-LIME explainer with per-record landmarks."""
+    """Double-LIME explainer with per-record landmarks.
+
+    The left- and right-landmark LIME runs share this explainer's prediction
+    engine, so their perturbation samples are batched and memoised together.
+    """
 
     method_name = "landmark"
 
@@ -34,15 +39,16 @@ class LandmarkExplainer(SaliencyExplainer):
         n_samples: int = 96,
         kernel_width: float = 0.75,
         seed: int = 0,
+        engine: PredictionEngine | None = None,
     ) -> None:
-        super().__init__(model)
+        super().__init__(model, engine=engine)
         self.n_samples = n_samples
         self.kernel_width = kernel_width
         self.seed = seed
 
     def explain(self, pair: RecordPair) -> SaliencyExplanation:
         """Merge the left-perturbed and right-perturbed LIME explanations."""
-        score = self.model.predict_pair(pair)
+        score = self.engine.predict_pair(pair)
         operator = "drop" if score > 0.5 else "copy"
         names = pair_attribute_names(pair)
         left_names = {name for name in names if name.startswith(LEFT_PREFIX)}
@@ -54,6 +60,7 @@ class LandmarkExplainer(SaliencyExplainer):
             operator=operator,
             kernel_width=self.kernel_width,
             seed=self.seed,
+            engine=self.engine,
         )
         right_engine = LimeExplainer(
             self.model,
@@ -61,6 +68,7 @@ class LandmarkExplainer(SaliencyExplainer):
             operator=operator,
             kernel_width=self.kernel_width,
             seed=self.seed + 1,
+            engine=self.engine,
         )
         left_attribution, _ = left_engine._surrogate_scores(pair, operator, restrict_to=left_names)
         right_attribution, _ = right_engine._surrogate_scores(pair, operator, restrict_to=right_names)

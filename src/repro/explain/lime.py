@@ -17,8 +17,9 @@ import numpy as np
 
 from repro.data.records import RecordPair
 from repro.explain.base import SaliencyExplainer, SaliencyExplanation
-from repro.explain.sampling import sample_binary_perturbations
+from repro.explain.sampling import sample_binary_perturbations, score_perturbations
 from repro.models.base import ERModel
+from repro.models.engine import PredictionEngine
 
 
 def exponential_kernel(distances: np.ndarray, kernel_width: float) -> np.ndarray:
@@ -57,8 +58,9 @@ class LimeExplainer(SaliencyExplainer):
         kernel_width: float = 0.75,
         regularisation: float = 1e-3,
         seed: int = 0,
+        engine: PredictionEngine | None = None,
     ) -> None:
-        super().__init__(model)
+        super().__init__(model, engine=engine)
         self.n_samples = n_samples
         self.operator = operator
         self.kernel_width = kernel_width
@@ -88,7 +90,7 @@ class LimeExplainer(SaliencyExplainer):
                 filtered_samples.append(sample)
             samples = filtered_samples
         masks = np.vstack([sample.mask for sample in samples])
-        scores = self.model.predict_proba([sample.pair for sample in samples])
+        scores = score_perturbations(self.engine, samples)
 
         distances = 1.0 - masks.mean(axis=1)
         weights = exponential_kernel(distances, self.kernel_width)

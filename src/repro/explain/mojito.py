@@ -18,10 +18,15 @@ from repro.data.records import RecordPair
 from repro.explain.base import SaliencyExplainer, SaliencyExplanation
 from repro.explain.lime import LimeExplainer
 from repro.models.base import ERModel
+from repro.models.engine import PredictionEngine
 
 
 class MojitoExplainer(SaliencyExplainer):
-    """LIME with ER-aware drop/copy perturbation operators."""
+    """LIME with ER-aware drop/copy perturbation operators.
+
+    Both underlying LIME engines share this explainer's prediction engine, so
+    perturbed pairs common to the drop and copy runs are scored once.
+    """
 
     method_name = "mojito"
 
@@ -31,13 +36,16 @@ class MojitoExplainer(SaliencyExplainer):
         n_samples: int = 128,
         kernel_width: float = 0.75,
         seed: int = 0,
+        engine: PredictionEngine | None = None,
     ) -> None:
-        super().__init__(model)
+        super().__init__(model, engine=engine)
         self._drop_engine = LimeExplainer(
-            model, n_samples=n_samples, operator="drop", kernel_width=kernel_width, seed=seed
+            model, n_samples=n_samples, operator="drop", kernel_width=kernel_width,
+            seed=seed, engine=self.engine,
         )
         self._copy_engine = LimeExplainer(
-            model, n_samples=n_samples, operator="copy", kernel_width=kernel_width, seed=seed + 1
+            model, n_samples=n_samples, operator="copy", kernel_width=kernel_width,
+            seed=seed + 1, engine=self.engine,
         )
 
     def explain(self, pair: RecordPair) -> SaliencyExplanation:
@@ -48,9 +56,9 @@ class MojitoExplainer(SaliencyExplainer):
         supports the non-match outcome, so the sign handling of the underlying
         LIME engine already yields "importance towards the predicted class".
         """
-        score = self.model.predict_pair(pair)
-        engine = self._drop_engine if score > 0.5 else self._copy_engine
-        explanation = engine.explain(pair)
+        score = self.engine.predict_pair(pair)
+        lime = self._drop_engine if score > 0.5 else self._copy_engine
+        explanation = lime.explain(pair)
         return SaliencyExplanation(
             pair=pair,
             prediction=explanation.prediction,

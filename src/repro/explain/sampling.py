@@ -109,6 +109,19 @@ class BinaryPerturbationSample:
     pair: RecordPair
 
 
+def score_perturbations(scorer, samples: Sequence[BinaryPerturbationSample]) -> np.ndarray:
+    """Score every sampled perturbation in one vectorised call.
+
+    ``scorer`` is anything with a ``predict_proba(Sequence[RecordPair])``
+    method — typically a :class:`~repro.models.engine.PredictionEngine`, so
+    repeated masks (common at small attribute counts) are deduplicated and the
+    rest is scored in batches.
+    """
+    if not samples:
+        return np.zeros(0, dtype=np.float64)
+    return np.asarray(scorer.predict_proba([sample.pair for sample in samples]), dtype=np.float64)
+
+
 def sample_binary_perturbations(
     pair: RecordPair,
     n_samples: int,

@@ -24,6 +24,7 @@ from repro.explain.base import (
 )
 from repro.explain.sampling import perturb_pair
 from repro.models.base import MATCH_THRESHOLD, ERModel
+from repro.models.engine import PredictionEngine
 
 
 class SedcCounterfactualExplainer(CounterfactualExplainer):
@@ -37,8 +38,9 @@ class SedcCounterfactualExplainer(CounterfactualExplainer):
         saliency_explainer: SaliencyExplainer,
         max_attributes: int | None = None,
         collect_intermediate: bool = True,
+        engine: PredictionEngine | None = None,
     ) -> None:
-        super().__init__(model)
+        super().__init__(model, engine=engine)
         self.saliency_explainer = saliency_explainer
         self.max_attributes = max_attributes
         self.collect_intermediate = collect_intermediate
@@ -50,7 +52,7 @@ class SedcCounterfactualExplainer(CounterfactualExplainer):
         as examples (often zero or one — the SEDC family is known to produce
         few counterfactuals, which Figure 10 of the paper shows).
         """
-        original_score = self.model.predict_pair(pair)
+        original_score = self.engine.predict_pair(pair)
         predicted_match = original_score > MATCH_THRESHOLD
         operator = "drop" if predicted_match else "copy"
 
@@ -61,22 +63,40 @@ class SedcCounterfactualExplainer(CounterfactualExplainer):
 
         examples: list[CounterfactualExample] = []
         flipped_set: tuple[str, ...] = ()
-        active: list[str] = []
-        for name in ranking:
-            active.append(name)
-            perturbed = perturb_pair(pair, active, operator=operator)
-            score = float(self.model.predict_pair(perturbed))
-            example = CounterfactualExample(
-                pair=perturbed,
-                changed_attributes=tuple(active),
-                score=score,
-                original_score=original_score,
-            )
-            if example.flipped:
-                examples.append(example)
-                if not flipped_set:
+        if self.collect_intermediate:
+            # Every prefix of the ranking is scored regardless of where the
+            # first flip lands, so the whole greedy path is one batched call.
+            prefixes = [ranking[: size + 1] for size in range(len(ranking))]
+            perturbed_pairs = [
+                perturb_pair(pair, prefix, operator=operator) for prefix in prefixes
+            ]
+            scores = self.engine.predict_proba(perturbed_pairs)
+            for prefix, perturbed, score in zip(prefixes, perturbed_pairs, scores):
+                example = CounterfactualExample(
+                    pair=perturbed,
+                    changed_attributes=tuple(prefix),
+                    score=float(score),
+                    original_score=original_score,
+                )
+                if example.flipped:
+                    examples.append(example)
+                    if not flipped_set:
+                        flipped_set = tuple(prefix)
+        else:
+            active: list[str] = []
+            for name in ranking:
+                active.append(name)
+                perturbed = perturb_pair(pair, active, operator=operator)
+                score = float(self.engine.predict_pair(perturbed))
+                example = CounterfactualExample(
+                    pair=perturbed,
+                    changed_attributes=tuple(active),
+                    score=score,
+                    original_score=original_score,
+                )
+                if example.flipped:
+                    examples.append(example)
                     flipped_set = tuple(active)
-                if not self.collect_intermediate:
                     break
         return CounterfactualExplanation(
             pair=pair,
@@ -98,10 +118,23 @@ class LimeCExplainer(SedcCounterfactualExplainer):
 
     method_name = "lime-c"
 
-    def __init__(self, model: ERModel, n_samples: int = 96, seed: int = 0, **kwargs) -> None:
+    def __init__(
+        self,
+        model: ERModel,
+        n_samples: int = 96,
+        seed: int = 0,
+        engine: PredictionEngine | None = None,
+        **kwargs,
+    ) -> None:
         from repro.explain.mojito import MojitoExplainer
 
-        super().__init__(model, MojitoExplainer(model, n_samples=n_samples, seed=seed), **kwargs)
+        engine = engine or PredictionEngine(model)
+        super().__init__(
+            model,
+            MojitoExplainer(model, n_samples=n_samples, seed=seed, engine=engine),
+            engine=engine,
+            **kwargs,
+        )
 
 
 class ShapCExplainer(SedcCounterfactualExplainer):
@@ -109,7 +142,20 @@ class ShapCExplainer(SedcCounterfactualExplainer):
 
     method_name = "shap-c"
 
-    def __init__(self, model: ERModel, max_coalitions: int = 120, seed: int = 0, **kwargs) -> None:
+    def __init__(
+        self,
+        model: ERModel,
+        max_coalitions: int = 120,
+        seed: int = 0,
+        engine: PredictionEngine | None = None,
+        **kwargs,
+    ) -> None:
         from repro.explain.shap import ShapExplainer
 
-        super().__init__(model, ShapExplainer(model, max_coalitions=max_coalitions, seed=seed), **kwargs)
+        engine = engine or PredictionEngine(model)
+        super().__init__(
+            model,
+            ShapExplainer(model, max_coalitions=max_coalitions, seed=seed, engine=engine),
+            engine=engine,
+            **kwargs,
+        )

@@ -21,6 +21,7 @@ from repro.data.records import RecordPair
 from repro.explain.base import SaliencyExplainer, SaliencyExplanation, pair_attribute_names
 from repro.explain.sampling import perturb_pair
 from repro.models.base import ERModel
+from repro.models.engine import PredictionEngine
 
 
 def shapley_kernel_weight(total_features: int, coalition_size: int) -> float:
@@ -63,8 +64,9 @@ class ShapExplainer(SaliencyExplainer):
         max_coalitions: int = 150,
         operator: str = "drop",
         seed: int = 0,
+        engine: PredictionEngine | None = None,
     ) -> None:
-        super().__init__(model)
+        super().__init__(model, engine=engine)
         self.max_coalitions = max_coalitions
         self.operator = operator
         self.seed = seed
@@ -84,8 +86,8 @@ class ShapExplainer(SaliencyExplainer):
             perturbed_pairs.append(perturb_pair(pair, absent, operator=self.operator))
             weights[row] = shapley_kernel_weight(len(names), len(coalition))
 
-        scores = self.model.predict_proba(perturbed_pairs)
-        original_score = float(self.model.predict_pair(pair))
+        scores = self.engine.predict_proba(perturbed_pairs)
+        original_score = float(self.engine.predict_pair(pair))
         base_value = float(scores[np.argwhere(design.sum(axis=1) == 0)[0][0]])
 
         augmented = np.hstack([design, np.ones((design.shape[0], 1))])

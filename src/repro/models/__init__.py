@@ -2,6 +2,7 @@
 
 from repro.models.base import MATCH_THRESHOLD, ERModel, TrainingReport, pair_cache_key
 from repro.models.classical import ClassicalMatcher
+from repro.models.engine import EngineStats, PredictionEngine, as_engine
 from repro.models.deeper import DeepERModel
 from repro.models.deepmatcher import DeepMatcherModel
 from repro.models.ditto import DittoModel
@@ -31,14 +32,17 @@ __all__ = [
     "DeepMatcherModel",
     "DittoModel",
     "ERModel",
+    "EngineStats",
     "MATCH_THRESHOLD",
     "MODEL_FACTORIES",
     "ModelCache",
     "PAPER_MODEL_NAMES",
+    "PredictionEngine",
     "SHARED_MODEL_CACHE",
     "TrainedModel",
     "TrainingReport",
     "accuracy_score",
+    "as_engine",
     "classification_report",
     "confusion_counts",
     "f1_score",

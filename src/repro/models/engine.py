@@ -1,0 +1,248 @@
+"""The prediction engine: a batching, memoising front-end over an ER matcher.
+
+Every explanation method in this library reduces to scoring perturbed copies
+of a handful of record pairs.  The naive formulation — one ``predict_pair``
+call per lattice node or perturbation sample — wastes the vectorised
+``predict_proba`` interface that every :class:`~repro.models.base.ERModel`
+already exposes, and re-scores identical perturbed pairs that different open
+triangles happen to generate.  :class:`PredictionEngine` centralises both
+optimisations behind the same prediction API as the model it wraps:
+
+* **batching** — requests are deduplicated and the uncached remainder is sent
+  to the model in chunks of at most ``batch_size`` pairs, so a frontier of
+  hundreds of lattice nodes costs a handful of model invocations;
+* **memoisation** — scores are cached under a content key
+  (:func:`~repro.models.base.pair_cache_key`), so identical perturbed pairs
+  produced by different triangles, explainers or lattice levels are scored
+  exactly once;
+* **accounting** — :class:`EngineStats` counts requests, cache hits, cache
+  misses and model invocations (``batches``), the numbers surfaced in the
+  eval harness reports and ``benchmarks/bench_prediction_engine.py``.
+
+The engine is a drop-in replacement wherever a fitted model is expected for
+*prediction*: it exposes ``predict_proba`` / ``predict_pair`` / ``predict`` /
+``predict_match`` with identical semantics, and works with any object
+implementing ``predict_proba(Sequence[RecordPair]) -> np.ndarray`` (including
+the cheap deterministic matchers used in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.data.records import RecordPair
+from repro.exceptions import ModelError
+from repro.models.base import MATCH_THRESHOLD, pair_cache_key
+
+
+@runtime_checkable
+class SupportsPredictProba(Protocol):
+    """Anything that can score a sequence of record pairs."""
+
+    def predict_proba(self, pairs: Sequence[RecordPair]) -> np.ndarray: ...
+
+
+@runtime_checkable
+class SupportsPairPrediction(SupportsPredictProba, Protocol):
+    """A scorer that also decides single-pair matches.
+
+    The prediction interface shared by fitted :class:`~repro.models.base.ERModel`
+    instances and :class:`PredictionEngine` — what prediction *consumers*
+    (triangle search, explainers) actually require.
+    """
+
+    def predict_match(self, pair: RecordPair) -> bool: ...
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Counters of one :class:`PredictionEngine` (immutable snapshot semantics).
+
+    ``requests``
+        Number of pair scores asked of the engine (one per pair per call).
+    ``hits``
+        Requests served without touching the model: previously cached scores
+        plus duplicates of a pair already being computed in the same call.
+        The invariant ``hits + misses == requests`` always holds.
+    ``misses``
+        Distinct uncached pair contents actually sent to the model.
+    ``batches``
+        Underlying model invocations (``predict_proba`` calls).  Each batch
+        carries at most ``batch_size`` pairs, so
+        ``batches >= ceil(misses / batch_size)`` with equality per call.
+    ``max_batch``
+        Largest single model invocation observed (diagnostic for sizing).
+    """
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    batches: int = 0
+    max_batch: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from the cache (0 when idle)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def __sub__(self, other: "EngineStats") -> "EngineStats":
+        """Counter delta between two snapshots (``max_batch`` is the later one's)."""
+        return EngineStats(
+            requests=self.requests - other.requests,
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            batches=self.batches - other.batches,
+            max_batch=self.max_batch,
+        )
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Plain dictionary view for reports and CSV rows."""
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "batches": self.batches,
+            "max_batch": self.max_batch,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PredictionEngine:
+    """Batched, memoised prediction façade shared by explainers.
+
+    Parameters
+    ----------
+    model:
+        The matcher to score pairs with; any ``predict_proba`` provider works.
+    batch_size:
+        Maximum number of pairs per underlying model invocation.  Larger
+        values amortise per-call overhead; the default suits the bundled
+        numpy matchers.
+    cache:
+        When False the engine only batches: deduplication is disabled too, so
+        every request (including duplicates) reaches the model and is counted
+        as a miss — useful for measuring raw model cost.
+
+    Note on layering: a fitted :class:`~repro.models.base.ERModel` memoises
+    predictions itself (``cache_predictions=True``), so wrapping one stores
+    each score in both layers.  That is harmless but doubles the cache
+    memory; construct the model with ``cache_predictions=False`` (or the
+    engine with ``cache=False``) to keep a single layer.
+    """
+
+    def __init__(
+        self,
+        model: SupportsPredictProba,
+        batch_size: int = 256,
+        cache: bool = True,
+    ) -> None:
+        if batch_size <= 0:
+            raise ModelError(f"engine batch_size must be positive, got {batch_size}")
+        self.model = model
+        self.batch_size = batch_size
+        self.cache_enabled = cache
+        self._cache: dict[tuple, float] = {}
+        self._stats = EngineStats()
+
+    # ------------------------------------------------------------------- stats
+
+    @property
+    def stats(self) -> EngineStats:
+        """Immutable snapshot of the engine counters."""
+        return self._stats
+
+    def reset_stats(self) -> None:
+        """Zero the counters (the cache is left intact)."""
+        self._stats = EngineStats()
+
+    def clear_cache(self) -> None:
+        """Drop all memoised scores (counters are left intact)."""
+        self._cache.clear()
+
+    def cache_size(self) -> int:
+        """Number of distinct pair contents memoised so far."""
+        return len(self._cache)
+
+    # -------------------------------------------------------------- prediction
+
+    def predict_proba(self, pairs: Sequence[RecordPair]) -> np.ndarray:
+        """Matching scores in [0, 1] for each pair, batched and memoised.
+
+        Duplicate pairs within one call are scored once; the duplicates (and
+        any previously cached pairs) count as cache hits.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return np.zeros(0, dtype=np.float64)
+
+        scores = np.zeros(len(pairs), dtype=np.float64)
+        pending: dict[tuple, list[int]] = {}  # uncached content -> positions
+        pending_pairs: list[RecordPair] = []
+        hits = 0
+        for index, pair in enumerate(pairs):
+            if not self.cache_enabled:
+                # No caching means no deduplication either: every request,
+                # duplicates included, reaches the model as its own miss.
+                pending[(index,)] = [index]
+                pending_pairs.append(pair)
+                continue
+            key = pair_cache_key(pair)
+            if key in self._cache:
+                scores[index] = self._cache[key]
+                hits += 1
+            elif key in pending:
+                pending[key].append(index)
+                hits += 1  # served by the in-flight computation, not the model
+            else:
+                pending[key] = [index]
+                pending_pairs.append(pair)
+
+        batches = 0
+        max_batch = self._stats.max_batch
+        if pending_pairs:
+            computed: list[float] = []
+            for start in range(0, len(pending_pairs), self.batch_size):
+                chunk = pending_pairs[start : start + self.batch_size]
+                computed.extend(float(score) for score in self.model.predict_proba(chunk))
+                batches += 1
+                max_batch = max(max_batch, len(chunk))
+            for (key, positions), score in zip(pending.items(), computed):
+                for position in positions:
+                    scores[position] = score
+                if self.cache_enabled:
+                    self._cache[key] = score
+
+        self._stats = replace(
+            self._stats,
+            requests=self._stats.requests + len(pairs),
+            hits=self._stats.hits + hits,
+            misses=self._stats.misses + len(pending_pairs),
+            batches=self._stats.batches + batches,
+            max_batch=max_batch,
+        )
+        return scores
+
+    def predict_pair(self, pair: RecordPair) -> float:
+        """Matching score of a single pair (still counted and cached)."""
+        return float(self.predict_proba([pair])[0])
+
+    def predict(self, pairs: Sequence[RecordPair]) -> np.ndarray:
+        """Boolean match decisions (score > 0.5)."""
+        return self.predict_proba(pairs) > MATCH_THRESHOLD
+
+    def predict_match(self, pair: RecordPair) -> bool:
+        """Boolean match decision for a single pair."""
+        return self.predict_pair(pair) > MATCH_THRESHOLD
+
+
+def as_engine(
+    model_or_engine: SupportsPredictProba | PredictionEngine,
+    batch_size: int = 256,
+) -> PredictionEngine:
+    """Coerce a model into an engine; an existing engine is passed through."""
+    if isinstance(model_or_engine, PredictionEngine):
+        return model_or_engine
+    return PredictionEngine(model_or_engine, batch_size=batch_size)

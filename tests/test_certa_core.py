@@ -89,6 +89,33 @@ class TestAugmentation:
 
 
 class TestTriangleSearch:
+    def test_selection_is_independent_of_source_record_order(
+        self, similarity_model, sources, match_pair, non_match_pair
+    ):
+        """Shuffling the records inside a source must not change the triangles.
+
+        Candidate ranking canonicalises by record id before the similarity
+        sort / seeded shuffle, so triangle selection is a pure function of the
+        record *set*, the pair and the seed — stable across runs even when
+        equal similarity scores would otherwise leave the order to the
+        source's iteration order.
+        """
+        left, right = sources
+        reversed_left = DataSource(
+            name=left.name, schema=left.schema, records=list(reversed(list(left.records)))
+        )
+        reversed_right = DataSource(
+            name=right.name, schema=right.schema, records=list(reversed(list(right.records)))
+        )
+        for pair in (match_pair, non_match_pair):
+            baseline = find_open_triangles(similarity_model, pair, left, right, count=6, seed=3)
+            shuffled = find_open_triangles(
+                similarity_model, pair, reversed_left, reversed_right, count=6, seed=3
+            )
+            assert [
+                (triangle.side, triangle.support.record_id) for triangle in baseline.triangles
+            ] == [(triangle.side, triangle.support.record_id) for triangle in shuffled.triangles]
+
     def test_supports_have_opposite_prediction(self, similarity_model, sources, match_pair):
         left, right = sources
         result = find_open_triangles(similarity_model, match_pair, left, right, count=6, seed=0)

@@ -112,6 +112,18 @@ class TestExperiments:
         assert row["performed"] <= row["expected"]
         assert 0.0 <= row["error_rate"] <= 1.0
 
+    def test_prediction_engine_rows(self, harness):
+        rows = harness.prediction_engine_rows(
+            datasets=("BA",), model_name="classical", pairs_per_dataset=2
+        )
+        assert rows
+        for row in rows:
+            assert row["identical"]
+            assert row["hits"] + row["misses"] == row["requests"]
+            assert row["lattice_batches"] <= row["sequential_calls"]
+            if row["nodes_evaluated"]:
+                assert row["lattice_batches"] <= row["nodes_evaluated"]
+
     def test_augmentation_supply_rows(self, harness):
         rows = harness.augmentation_supply_rows(
             datasets=("BA",), models=("classical",), target_triangles=20, pairs_per_dataset=1
