@@ -3,41 +3,27 @@ monotone-lattice optimisation (design choice called out in DESIGN.md)."""
 
 from __future__ import annotations
 
-from repro.eval.reporting import format_table, write_csv
+from repro.eval.reporting import format_table, skipped_summary, write_csv
 
 from benchmarks.conftest import run_once
 
 
 def test_ablation_monotone_lattice_exploration(benchmark, harness, results_dir):
     """Model calls per explanation with monotone propagation on vs. off."""
-    code = harness.config.datasets[0]
-    model = harness.trained("deepmatcher", code).model
-    pairs = harness.sample_pairs(code, count=3)
 
     def experiment():
-        rows = []
-        for monotone in (True, False):
-            explainer = harness.certa_explainer(model, code, monotone=monotone, num_triangles=10)
-            performed, saved, flips = 0, 0, 0
-            for pair in pairs:
-                explanation = explainer.explain_full(pair)
-                performed += explanation.performed_predictions()
-                saved += explanation.saved_predictions()
-                flips += explanation.flips
-            rows.append(
-                {
-                    "monotone": monotone,
-                    "lattice_model_calls": performed,
-                    "saved_model_calls": saved,
-                    "flips": flips,
-                }
-            )
-        return rows
+        return harness.monotone_ablation_rows(
+            code=harness.config.datasets[0],
+            model_name="deepmatcher",
+            num_triangles=10,
+            pairs_per_dataset=3,
+        )
 
     rows = run_once(benchmark, experiment)
 
     print("\n=== Ablation: monotone lattice exploration on vs. off ===")
     print(format_table(rows))
+    print(skipped_summary(rows))
     write_csv(rows, results_dir / "ablation_monotonicity.csv")
 
     monotone_row = next(row for row in rows if row["monotone"])

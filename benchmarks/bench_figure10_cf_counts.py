@@ -4,15 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.eval.reporting import format_table, write_csv
+from repro.eval.reporting import format_table, skipped_summary, write_csv
 
 from benchmarks.conftest import run_once
-from benchmarks.bench_table4_5_6_counterfactuals import counterfactual_rows
 
 
-def test_figure10_average_counterfactual_counts(benchmark, harness, results_dir):
+def test_figure10_average_counterfactual_counts(benchmark, counterfactual_rows, results_dir):
     """Average number of generated counterfactual examples per method and model."""
-    rows = run_once(benchmark, lambda: counterfactual_rows(harness))
+    rows = run_once(benchmark, lambda: counterfactual_rows)
 
     # Aggregate over datasets: one bar per (model, method) as in Figure 10.
     aggregated: dict[tuple[str, str], list[float]] = {}
@@ -25,6 +24,7 @@ def test_figure10_average_counterfactual_counts(benchmark, harness, results_dir)
 
     print("\n=== Figure 10: average number of counterfactual examples per method ===")
     print(format_table(figure_rows))
+    print(skipped_summary(rows))
     write_csv(figure_rows, results_dir / "figure10_cf_counts.csv")
 
     assert figure_rows

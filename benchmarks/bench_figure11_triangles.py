@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.eval.reporting import format_table, write_csv
+from repro.eval.reporting import format_table, skipped_summary, write_csv
 
 from benchmarks.conftest import run_once
 
@@ -24,9 +24,11 @@ def test_figure11_triangle_sweep(benchmark, harness, results_dir):
 
     print("\n=== Figure 11: metric averages as the number of open triangles increases ===")
     print(format_table(rows))
+    print(skipped_summary(rows))
     write_csv(rows, results_dir / "figure11_triangle_sweep.csv")
 
     assert rows
+    assert all("skipped" in row for row in rows)
     taus = sorted({row["triangles"] for row in rows})
     assert taus == sorted(TRIANGLE_COUNTS)
     for row in rows:

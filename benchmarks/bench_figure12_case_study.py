@@ -19,9 +19,13 @@ def test_figure12_case_study(benchmark, harness, results_dir):
 
     print("\n=== Figure 12: case study on BA with Ditto (alignment with actual saliency) ===")
     print(format_table(rows))
+    # Per-pair units: a skipped pair contributes no row, so report the
+    # sweep-level count (exact) alongside the per-row column.
+    print(f"skipped explanations (sweep total): {harness.last_sweep.skipped}")
     write_csv(rows, results_dir / "figure12_case_study.csv")
 
     assert rows
+    assert all("skipped" in row for row in rows)
     for row in rows:
         assert 0.0 <= row["alignment_top2"] <= 1.0
         for key in ("aggr@1", "aggr@2", "aggr@3"):

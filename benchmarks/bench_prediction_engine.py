@@ -10,7 +10,7 @@ memoising perturbed pairs by content.
 
 from __future__ import annotations
 
-from repro.eval.reporting import format_table, write_csv
+from repro.eval.reporting import format_table, skipped_summary, write_csv
 
 from benchmarks.conftest import run_once
 
@@ -29,6 +29,7 @@ def test_prediction_engine_batching(benchmark, harness, results_dir):
 
     print("\n=== Prediction engine: frontier batching vs node-at-a-time exploration ===")
     print(format_table(rows))
+    print(skipped_summary(rows))
     write_csv(rows, results_dir / "prediction_engine.csv")
 
     assert rows

@@ -1,36 +1,33 @@
-"""Table 2: faithfulness of saliency explanations (AUC, lower is better)."""
+"""Table 2: faithfulness of saliency explanations (AUC, lower is better).
+
+The saliency sweep runs through the work-unit runner once per pytest session
+(the session-scoped ``saliency_rows`` fixture in ``conftest.py``) and is
+shared with the Table 3 benchmark.
+"""
 
 from __future__ import annotations
 
-from repro.eval.reporting import format_table, pivot_metric, win_counts, write_csv
+from repro.eval.reporting import pivot_metric, skipped_summary, win_counts, write_csv
 
 from benchmarks.conftest import run_once
 
-_ROWS_CACHE: dict[str, list] = {}
 
-
-def saliency_rows(harness):
-    """Saliency rows are shared between the Table 2 and Table 3 benchmarks."""
-    key = "saliency"
-    if key not in _ROWS_CACHE:
-        _ROWS_CACHE[key] = harness.saliency_rows()
-    return _ROWS_CACHE[key]
-
-
-def test_table2_faithfulness(benchmark, harness, results_dir):
+def test_table2_faithfulness(benchmark, saliency_rows, results_dir):
     """Faithfulness AUC per dataset x model x saliency method."""
-    rows = run_once(benchmark, lambda: saliency_rows(harness))
+    rows = run_once(benchmark, lambda: saliency_rows)
 
     print("\n=== Table 2: faithfulness of saliency explanations (lower is better) ===")
     print(pivot_metric(rows, "faithfulness"))
     counts = win_counts(rows, "faithfulness", lower_is_better=True)
     print(f"cells won (lower AUC): {counts}")
+    print(skipped_summary(rows))
     write_csv(rows, results_dir / "table2_faithfulness.csv")
 
     assert rows, "the sweep must produce at least one row"
     methods = {row["method"] for row in rows}
     assert methods == {"certa", "landmark", "mojito", "shap"}
     assert all(0.0 <= row["faithfulness"] <= 1.0 for row in rows)
+    assert all(row["skipped"] >= 0 for row in rows)
     # Shape observation: the paper reports CERTA winning most cells.  At laptop
     # scale with the synthetic stand-in matchers this does not always hold (see
     # EXPERIMENTS.md for the discussion), so the winner split is printed above

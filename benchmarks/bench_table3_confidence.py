@@ -2,23 +2,24 @@
 
 from __future__ import annotations
 
-from repro.eval.reporting import pivot_metric, win_counts, write_csv
+from repro.eval.reporting import pivot_metric, skipped_summary, win_counts, write_csv
 
 from benchmarks.conftest import run_once
-from benchmarks.bench_table2_faithfulness import saliency_rows
 
 
-def test_table3_confidence_indication(benchmark, harness, results_dir):
+def test_table3_confidence_indication(benchmark, saliency_rows, results_dir):
     """Confidence-indication MAE per dataset x model x saliency method."""
-    rows = run_once(benchmark, lambda: saliency_rows(harness))
+    rows = run_once(benchmark, lambda: saliency_rows)
 
     print("\n=== Table 3: confidence indication (MAE, lower is better) ===")
     print(pivot_metric(rows, "confidence_indication"))
     counts = win_counts(rows, "confidence_indication", lower_is_better=True)
     print(f"cells won (lower MAE): {counts}")
+    print(skipped_summary(rows))
     write_csv(rows, results_dir / "table3_confidence.csv")
 
     assert rows
     assert all(row["confidence_indication"] >= 0.0 for row in rows)
     # The MAE of a [0, 1] confidence can never exceed 1.
     assert all(row["confidence_indication"] <= 1.0 for row in rows)
+    assert all("skipped" in row for row in rows)

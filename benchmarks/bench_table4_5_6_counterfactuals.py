@@ -1,44 +1,42 @@
-"""Tables 4, 5, 6: proximity, sparsity and diversity of counterfactual explanations."""
+"""Tables 4, 5, 6: proximity, sparsity and diversity of counterfactual explanations.
+
+The counterfactual sweep runs through the work-unit runner once per pytest
+session (the session-scoped ``counterfactual_rows`` fixture in
+``conftest.py``) and is shared with the Figure 10 benchmark.
+"""
 
 from __future__ import annotations
 
-from repro.eval.reporting import pivot_metric, win_counts, write_csv
+from repro.eval.reporting import pivot_metric, skipped_summary, win_counts, write_csv
 
 from benchmarks.conftest import run_once
 
-_ROWS_CACHE: dict[str, list] = {}
 
-
-def counterfactual_rows(harness):
-    """Counterfactual rows are shared between Tables 4-6 and Figure 10."""
-    key = "counterfactual"
-    if key not in _ROWS_CACHE:
-        _ROWS_CACHE[key] = harness.counterfactual_rows()
-    return _ROWS_CACHE[key]
-
-
-def test_table4_proximity(benchmark, harness, results_dir):
+def test_table4_proximity(benchmark, counterfactual_rows, results_dir):
     """Proximity of counterfactual examples (higher is better)."""
-    rows = run_once(benchmark, lambda: counterfactual_rows(harness))
+    rows = run_once(benchmark, lambda: counterfactual_rows)
 
     print("\n=== Table 4: proximity of counterfactual explanations (higher is better) ===")
     print(pivot_metric(rows, "proximity"))
     print(f"cells won: {win_counts(rows, 'proximity')}")
+    print(skipped_summary(rows))
     write_csv(rows, results_dir / "table4_5_6_counterfactuals.csv")
 
     assert rows
     assert {row["method"] for row in rows} == {"certa", "dice", "shap-c", "lime-c"}
     assert all(0.0 <= row["proximity"] <= 1.0 for row in rows)
+    assert all(row["skipped"] >= 0 for row in rows)
 
 
-def test_table5_sparsity(benchmark, harness, results_dir):
+def test_table5_sparsity(benchmark, counterfactual_rows, results_dir):
     """Sparsity of counterfactual examples (higher is better)."""
-    rows = run_once(benchmark, lambda: counterfactual_rows(harness))
+    rows = run_once(benchmark, lambda: counterfactual_rows)
 
     print("\n=== Table 5: sparsity of counterfactual explanations (higher is better) ===")
     print(pivot_metric(rows, "sparsity"))
     counts = win_counts(rows, "sparsity")
     print(f"cells won: {counts}")
+    print(skipped_summary(rows))
 
     assert all(0.0 <= row["sparsity"] <= 1.0 for row in rows)
     # Shape check: CERTA's triangle-based perturbations touch few attributes,
@@ -46,14 +44,15 @@ def test_table5_sparsity(benchmark, harness, results_dir):
     assert counts.get("certa", 0) >= 1
 
 
-def test_table6_diversity(benchmark, harness, results_dir):
+def test_table6_diversity(benchmark, counterfactual_rows, results_dir):
     """Diversity of counterfactual examples (higher is better)."""
-    rows = run_once(benchmark, lambda: counterfactual_rows(harness))
+    rows = run_once(benchmark, lambda: counterfactual_rows)
 
     print("\n=== Table 6: diversity of counterfactual explanations (higher is better) ===")
     print(pivot_metric(rows, "diversity"))
     counts = win_counts(rows, "diversity")
     print(f"cells won: {counts}")
+    print(skipped_summary(rows))
 
     assert all(row["diversity"] >= 0.0 for row in rows)
     # Shape observation: the paper reports CERTA / DiCE leading on diversity.

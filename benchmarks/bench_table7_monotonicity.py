@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.eval.reporting import format_table, write_csv
+from repro.eval.reporting import format_table, skipped_summary, write_csv
 
 from benchmarks.conftest import run_once
 
@@ -22,6 +22,7 @@ def test_table7_monotonicity_savings(benchmark, harness, results_dir):
 
     print("\n=== Table 7: lattice predictions saved under the monotonicity assumption ===")
     print(format_table(rows))
+    print(skipped_summary(rows))
     write_csv(rows, results_dir / "table7_monotonicity.csv")
 
     assert rows

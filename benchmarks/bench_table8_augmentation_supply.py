@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.eval.reporting import format_table, write_csv
+from repro.eval.reporting import format_table, skipped_summary, write_csv
 
 from benchmarks.conftest import run_once
 
@@ -23,6 +23,7 @@ def test_table8_triangles_without_augmentation(benchmark, harness, results_dir):
 
     print(f"\n=== Table 8: open triangles without data augmentation (target {target}) ===")
     print(format_table(rows))
+    print(skipped_summary(rows))
     write_csv(rows, results_dir / "table8_augmentation_supply.csv")
 
     assert rows

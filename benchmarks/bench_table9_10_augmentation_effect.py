@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.eval.reporting import format_table, write_csv
+from repro.eval.reporting import format_table, skipped_summary, write_csv
 
 from benchmarks.conftest import run_once
 
@@ -21,9 +21,11 @@ def test_table9_10_augmentation_effect(benchmark, harness, results_dir):
 
     print("\n=== Tables 9-10: effect of augmentation-only open triangles (deltas) ===")
     print(format_table(rows))
+    print(skipped_summary(rows))
     write_csv(rows, results_dir / "table9_10_augmentation_effect.csv")
 
     assert rows
+    assert all("skipped" in row for row in rows)
     for row in rows:
         # Deltas of [0, 1] metrics are bounded by construction.
         for name, value in row.items():

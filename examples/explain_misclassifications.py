@@ -7,6 +7,11 @@ the saliency baselines, and then performs the paper's "faithfulness inspection"
 record to the other, and the resulting change in matching score shows how
 faithful each explanation is to the matcher's behaviour.
 
+Dataset loading, matcher training and explainer construction all go through
+:class:`repro.eval.ExperimentHarness` — the same factories the sweep runner's
+work units use — so the example stays in sync with how the benchmark tables
+are produced.
+
 Run with::
 
     python examples/explain_misclassifications.py
@@ -14,14 +19,23 @@ Run with::
 
 from __future__ import annotations
 
-from repro.certa import CertaExplainer
-from repro.data import load_benchmark
-from repro.explain import LandmarkExplainer, MojitoExplainer, ShapExplainer, perturb_pair
-from repro.models import train_model
+from repro.eval import ExperimentHarness, HarnessConfig, SALIENCY_METHODS
+from repro.explain import perturb_pair
 
 DATASET_CODE = "AG"
 MODEL_NAMES = ("deeper", "deepmatcher", "ditto")
 MAX_CASES = 3
+
+CONFIG = HarnessConfig(
+    datasets=(DATASET_CODE,),
+    models=MODEL_NAMES,
+    dataset_scale=0.5,
+    num_triangles=20,
+    lime_samples=64,
+    shap_coalitions=64,
+    fast_models=True,
+    seed=1,
+)
 
 
 def inspect_faithfulness(model, pair, explanation, top_k: int = 2) -> float:
@@ -38,8 +52,9 @@ def inspect_faithfulness(model, pair, explanation, top_k: int = 2) -> float:
 
 
 def main() -> None:
-    dataset = load_benchmark(DATASET_CODE, scale=0.5)
-    trained = {name: train_model(name, dataset, fast=True) for name in MODEL_NAMES}
+    harness = ExperimentHarness(CONFIG)
+    dataset = harness.dataset(DATASET_CODE)
+    trained = {name: harness.trained(name, DATASET_CODE) for name in MODEL_NAMES}
     for name, result in trained.items():
         print(f"{name:<12} test F1 = {result.test_metrics['f1']:.3f}")
 
@@ -68,13 +83,8 @@ def main() -> None:
             original_score = model.predict_pair(pair)
             print(f"\n{name} misclassifies this pair (score = {original_score:.3f})")
 
-            explainers = {
-                "certa": CertaExplainer(model, dataset.left, dataset.right, num_triangles=20, seed=1),
-                "mojito": MojitoExplainer(model, n_samples=64, seed=1),
-                "landmark": LandmarkExplainer(model, n_samples=64, seed=1),
-                "shap": ShapExplainer(model, max_coalitions=64, seed=1),
-            }
-            for method, explainer in explainers.items():
+            for method in SALIENCY_METHODS:
+                explainer = harness.saliency_explainer(model, DATASET_CODE, method)
                 explanation = explainer.explain(pair)
                 top = explanation.top_attributes(2)
                 inspected = inspect_faithfulness(model, pair, explanation)

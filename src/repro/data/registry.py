@@ -10,6 +10,7 @@ the right side).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -209,6 +210,14 @@ def benchmark_info(code: str) -> BenchmarkInfo:
         raise DatasetError(f"unknown benchmark code {code!r}; available: {BENCHMARK_CODES}") from exc
 
 
+#: Serialises dataset generation: ``lru_cache`` alone would let two threads
+#: generate the same dataset concurrently and hand out different (if
+#: content-identical) instances.  The sweep runner's ``threads`` executor
+#: shares one process-wide dataset per (code, scale) thanks to this lock;
+#: process-pool workers each regenerate deterministically from the seed.
+_DATASET_LOCK = threading.Lock()
+
+
 @lru_cache(maxsize=32)
 def _cached_dataset(code: str, scale_key: int) -> ERDataset:
     info = benchmark_info(code)
@@ -220,12 +229,14 @@ def load_benchmark(code: str, scale: float = 1.0) -> ERDataset:
     """Generate (and memoise) the synthetic benchmark dataset for ``code``.
 
     ``scale`` < 1.0 shrinks the dataset proportionally, which the benchmark
-    harness uses to keep full 12-dataset sweeps fast.
+    harness uses to keep full 12-dataset sweeps fast.  Thread-safe: repeated
+    calls always return the same memoised instance.
     """
     if scale <= 0:
         raise DatasetError(f"scale must be positive, got {scale}")
     scale_key = int(round(scale * 100))
-    return _cached_dataset(code.upper(), scale_key)
+    with _DATASET_LOCK:
+        return _cached_dataset(code.upper(), scale_key)
 
 
 def table1_statistics(scale: float = 1.0) -> list[dict[str, object]]:

@@ -4,13 +4,24 @@ The harness returns lists of row dictionaries; these helpers pivot them into
 the layout of the paper's tables (datasets as rows, method columns grouped by
 model) and render fixed-width text tables that the benchmark scripts print and
 EXPERIMENTS.md embeds.
+
+The sweep-runner additions live here too: :func:`write_jsonl` /
+:func:`read_jsonl` (JSON Lines persistence; ``read_jsonl`` backs the
+checkpoint store's truncation-tolerant resume), :func:`write_manifest` (run
+manifests summarising what a sweep executed, reused and skipped),
+:func:`stable_row_key` (a (dataset, model, method, pair index) ordering for
+row archives, consistent with the runner's unit order) and
+:func:`merge_row_streams` (streaming merge of already-sorted row streams,
+e.g. rows recovered from several archives).
 """
 
 from __future__ import annotations
 
 import csv
+import heapq
+import json
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 
 def format_table(rows: Sequence[dict[str, object]], columns: Sequence[str] | None = None, precision: int = 3) -> str:
@@ -109,6 +120,87 @@ def win_counts(
     for method in winners.values():
         counts[method] = counts.get(method, 0) + 1
     return counts
+
+
+def skipped_summary(rows: Sequence[dict[str, object]]) -> str:
+    """One-line summary of the ``skipped`` column (printed under each table)."""
+    total = sum(int(row.get("skipped", 0)) for row in rows)
+    cells = sum(1 for row in rows if int(row.get("skipped", 0)) > 0)
+    if total == 0:
+        return "skipped explanations: 0"
+    return f"skipped explanations: {total} (across {cells} row(s))"
+
+
+def stable_row_key(row: dict[str, object]) -> tuple:
+    """Sort key for experiment rows: (dataset, model, method, pair index).
+
+    The sweep runner itself orders rows by work-unit coordinates; this key
+    reproduces that order from row content alone, for sorting or merging row
+    archives (CSV/JSONL) after the fact.  Numeric tie-breakers fall back to
+    ``triangles`` (Figure 11 rows) so mixed row shapes still order
+    deterministically.
+    """
+    index = row.get("pair_index", row.get("triangles", row.get("index", -1)))
+    try:
+        numeric = float(index)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        numeric = -1.0
+    return (
+        str(row.get("dataset", "")),
+        str(row.get("model", "")),
+        str(row.get("method", "")),
+        numeric,
+    )
+
+
+def merge_row_streams(*streams: Iterable[dict[str, object]]) -> Iterator[dict[str, object]]:
+    """Lazily merge row streams that are each sorted by :func:`stable_row_key`.
+
+    Streaming (heap-based) merge: rows are yielded in canonical order without
+    materialising any stream, so arbitrarily large checkpoint files can be
+    combined row by row.
+    """
+    return heapq.merge(*streams, key=stable_row_key)
+
+
+def write_jsonl(rows: Iterable[dict[str, object]], path: str | Path) -> Path:
+    """Persist rows as JSON Lines (one row object per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict[str, object]]:
+    """Stream row dictionaries from a JSON Lines file.
+
+    Undecodable lines — the truncated tail an interrupted writer leaves
+    behind — are skipped, mirroring the checkpoint store's resume semantics.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict):
+                yield entry
+
+
+def write_manifest(manifest: dict[str, object], path: str | Path) -> Path:
+    """Persist a sweep-run manifest (see ``SweepResult.manifest``) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
 
 
 def write_csv(rows: Iterable[dict[str, object]], path: str | Path) -> Path:

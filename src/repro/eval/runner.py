@@ -1,0 +1,468 @@
+"""Work-unit sweep runner: parallel, checkpointable experiment execution.
+
+Every experiment of the paper's Section 5 decomposes into independent
+**work units** — one :class:`WorkUnit` per (dataset, model, method,
+pair-batch) cell of a sweep.  The :class:`SweepRunner` executes a list of
+units through a pluggable executor (``serial``, ``threads`` or
+``processes``), checkpoints every completed unit to a JSONL
+:class:`CheckpointStore` and returns a :class:`SweepResult` whose rows are
+deterministically ordered, so that
+
+* ``serial``, ``threads`` and ``processes`` runs of the same configuration
+  produce **identical row lists**,
+* an interrupted sweep **resumes** from the checkpoint store (same
+  :func:`config_hash` ⇒ completed units are reused verbatim), and
+* a resumed run is byte-for-byte equal to an uninterrupted one (rows are
+  normalised to plain JSON-compatible Python values before they are either
+  stored or returned).
+
+The experiment bodies themselves live in :mod:`repro.eval.harness`; they are
+registered here by name (see :func:`experiment_runner`) so a unit can be
+pickled to a worker process as data only.  Worker processes lazily build
+their own :class:`~repro.eval.harness.ExperimentHarness` (dataset generation
+and model training are deterministic, so a worker-trained matcher scores
+pairs exactly like the parent's) and memoise it per configuration hash —
+the per-worker warm-up that makes process pools affordable.
+
+Typical use::
+
+    harness = ExperimentHarness(config, runner=SweepRunner(
+        executor="processes", checkpoint="results/units.jsonl"))
+    rows = harness.saliency_rows()          # resumable, parallel sweep
+    print(harness.last_sweep.manifest())    # units run / cached / skipped
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.eval.reporting import read_jsonl, write_manifest
+from repro.exceptions import EvaluationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness imports us)
+    from repro.eval.harness import ExperimentHarness, HarnessConfig
+
+#: Bump to invalidate every existing checkpoint store (stored with each unit).
+RUNNER_SCHEMA_VERSION = 1
+
+#: The executors :class:`SweepRunner` supports.
+EXECUTORS = ("serial", "threads", "processes")
+
+
+# --------------------------------------------------------------------- values
+
+
+def _plain(value: object) -> object:
+    """``value`` as a plain JSON-compatible Python object.
+
+    Numpy scalars become Python scalars, tuples become lists, mappings become
+    plain dicts.  Applied to every row before it is stored or returned, so
+    cached and freshly-computed rows compare (and serialise) identically.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _plain(item) for key, item in value.items()}
+    return value
+
+
+def normalise_row(row: Mapping[str, object]) -> dict[str, object]:
+    """A row dict with every value converted to plain Python (see :func:`_plain`)."""
+    return {str(key): _plain(value) for key, value in row.items()}
+
+
+def config_hash(config: "HarnessConfig") -> str:
+    """Stable digest of a harness configuration (plus the runner schema).
+
+    Two sweeps share checkpointed units exactly when their hashes match;
+    changing any configuration field (or bumping
+    :data:`RUNNER_SCHEMA_VERSION`) invalidates the cache.
+    """
+    payload = {"schema": RUNNER_SCHEMA_VERSION, "config": _plain(dataclasses.asdict(config))}
+    digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+# ------------------------------------------------------------------ work units
+
+
+@dataclass(frozen=True, order=True)
+class WorkUnit:
+    """One independent cell of an experiment sweep.
+
+    A unit is pure data — experiment name plus the coordinates of the cell —
+    so it can be hashed (checkpoint key), sorted (deterministic row order)
+    and pickled to worker processes.  ``params`` holds experiment-specific
+    extras as a tuple of ``(name, value)`` pairs with primitive (or tuple)
+    values; the field order **is** the canonical sort order:
+    (experiment, dataset, model, method, index, params).
+    """
+
+    experiment: str
+    dataset: str = ""
+    model: str = ""
+    method: str = ""
+    index: int = 0
+    params: tuple[tuple[str, object], ...] = ()
+
+    def param(self, name: str, default: object = None) -> object:
+        """The value of extra parameter ``name`` (``default`` if absent)."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-compatible view (used for the unit id and checkpoint lines)."""
+        return {
+            "experiment": self.experiment,
+            "dataset": self.dataset,
+            "model": self.model,
+            "method": self.method,
+            "index": self.index,
+            "params": {str(key): _plain(value) for key, value in self.params},
+        }
+
+    @property
+    def unit_id(self) -> str:
+        """Stable content-derived identifier (checkpoint store key)."""
+        payload = json.dumps(self.as_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def label(self) -> str:
+        """Human-readable cell label for logs and error messages."""
+        parts = [self.experiment, self.dataset, self.model, self.method]
+        text = "/".join(part for part in parts if part)
+        return f"{text}[{self.index}]"
+
+
+#: An experiment body: ``(harness, unit) -> (rows, skipped)``.
+ExperimentFunction = Callable[["ExperimentHarness", WorkUnit], tuple[list[dict], int]]
+
+_EXPERIMENTS: dict[str, ExperimentFunction] = {}
+
+
+def experiment_runner(name: str) -> Callable[[ExperimentFunction], ExperimentFunction]:
+    """Register ``function`` as the body executing units of experiment ``name``.
+
+    Registration-by-name keeps :class:`WorkUnit` pure data: a worker process
+    resolves the name back to the function after importing the experiment
+    module, so nothing but primitives ever crosses the pickle boundary.
+    """
+
+    def register(function: ExperimentFunction) -> ExperimentFunction:
+        _EXPERIMENTS[name] = function
+        return function
+
+    return register
+
+
+def experiment_function(name: str) -> ExperimentFunction:
+    """The registered body for experiment ``name`` (importing the built-ins)."""
+    if name not in _EXPERIMENTS:
+        import repro.eval.harness  # noqa: F401  (registers the built-in experiments)
+    try:
+        return _EXPERIMENTS[name]
+    except KeyError as exc:
+        raise EvaluationError(
+            f"unknown experiment {name!r}; registered: {sorted(_EXPERIMENTS)}"
+        ) from exc
+
+
+# -------------------------------------------------------------- unit execution
+
+
+@dataclass
+class UnitOutcome:
+    """The result of one work unit: rows, skip count and provenance."""
+
+    unit: WorkUnit
+    rows: list[dict[str, object]]
+    skipped: int = 0
+    seconds: float = 0.0
+    cached: bool = False
+
+
+def execute_unit(unit: WorkUnit, harness: "ExperimentHarness") -> UnitOutcome:
+    """Run one unit against ``harness`` and normalise its rows."""
+    function = experiment_function(unit.experiment)
+    start = time.perf_counter()
+    try:
+        rows, skipped = function(harness, unit)
+    except Exception as exc:
+        raise EvaluationError(f"work unit {unit.label()} failed: {exc}") from exc
+    return UnitOutcome(
+        unit=unit,
+        rows=[normalise_row(row) for row in rows],
+        skipped=int(skipped),
+        seconds=time.perf_counter() - start,
+    )
+
+
+# Worker-side state for the ``processes`` executor.  Each worker builds (and
+# memoises) its own harness per configuration hash: datasets and matchers are
+# re-created locally instead of being pickled across, and repeated units reuse
+# the warm caches.
+_WORKER_HARNESSES: dict[str, "ExperimentHarness"] = {}
+
+
+def _worker_harness(config: "HarnessConfig") -> "ExperimentHarness":
+    from repro.eval.harness import ExperimentHarness
+
+    key = config_hash(config)
+    if key not in _WORKER_HARNESSES:
+        _WORKER_HARNESSES[key] = ExperimentHarness(config)
+    return _WORKER_HARNESSES[key]
+
+
+def _warm_worker(config: "HarnessConfig", dataset_codes: Sequence[str]) -> None:
+    """Process-pool initializer: build the harness and pre-load its datasets."""
+    harness = _worker_harness(config)
+    for code in dataset_codes:
+        harness.dataset(code)
+
+
+def _execute_in_worker(config: "HarnessConfig", unit: WorkUnit) -> UnitOutcome:
+    """Entry point executed inside a worker process."""
+    return execute_unit(unit, _worker_harness(config))
+
+
+# ------------------------------------------------------------ checkpoint store
+
+
+class CheckpointStore:
+    """Append-only JSONL store of completed work units.
+
+    One line per completed unit: the configuration hash, the unit id (plus
+    its readable coordinates), the normalised rows, the skip count and the
+    wall-clock seconds.  :meth:`load` tolerates a truncated or corrupt tail —
+    exactly what a killed sweep leaves behind — by skipping undecodable
+    lines, so resuming is always safe.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    def load(self, config_digest: str) -> dict[str, dict[str, object]]:
+        """Entries recorded for ``config_digest``, keyed by unit id.
+
+        Reading goes through :func:`repro.eval.reporting.read_jsonl`, which
+        skips the truncated tail an interrupted run leaves behind.
+        """
+        entries: dict[str, dict[str, object]] = {}
+        for entry in read_jsonl(self.path):
+            if entry.get("config") != config_digest:
+                continue
+            if "unit" not in entry or "rows" not in entry:
+                continue
+            entries[str(entry["unit"])] = entry
+        return entries
+
+    def append(self, config_digest: str, outcome: UnitOutcome) -> None:
+        """Record one completed unit (flushed immediately, one JSON line)."""
+        entry = {
+            "config": config_digest,
+            "unit": outcome.unit.unit_id,
+            "cell": outcome.unit.as_dict(),
+            "rows": outcome.rows,
+            "skipped": outcome.skipped,
+            "seconds": outcome.seconds,
+        }
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+
+
+# ---------------------------------------------------------------- sweep result
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :meth:`SweepRunner.run`: ordered units plus provenance."""
+
+    outcomes: list[UnitOutcome]
+    config_digest: str
+    executor: str
+    wall_seconds: float = 0.0
+
+    @property
+    def rows(self) -> list[dict[str, object]]:
+        """All rows, in canonical unit order (deterministic across executors)."""
+        return [row for outcome in self.outcomes for row in outcome.rows]
+
+    @property
+    def skipped(self) -> int:
+        """Total pairs/explanations skipped across all units."""
+        return sum(outcome.skipped for outcome in self.outcomes)
+
+    @property
+    def cached_units(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def executed_units(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.cached)
+
+    def manifest(self) -> dict[str, object]:
+        """Run manifest: what ran, what was reused, what was skipped."""
+        experiments = sorted({outcome.unit.experiment for outcome in self.outcomes})
+        return {
+            "schema": RUNNER_SCHEMA_VERSION,
+            "config": self.config_digest,
+            "executor": self.executor,
+            "experiments": experiments,
+            "units_total": len(self.outcomes),
+            "units_cached": self.cached_units,
+            "units_executed": self.executed_units,
+            "rows": len(self.rows),
+            "skipped": self.skipped,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+# ---------------------------------------------------------------- sweep runner
+
+
+class SweepRunner:
+    """Executes work units through a pluggable executor with checkpointing.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (in-process loop, shares the calling harness),
+        ``"threads"`` (thread pool sharing the calling harness — dataset and
+        model caches are lock-protected) or ``"processes"`` (process pool;
+        each worker warms up its own harness from the pickled configuration).
+    max_workers:
+        Pool width for the parallel executors (default: CPU count, capped by
+        the number of pending units).
+    checkpoint:
+        Path of a JSONL :class:`CheckpointStore` (or an existing store).
+        When set, completed units are persisted as they finish and reused on
+        the next run with the same configuration hash; a run manifest is
+        written next to the store.
+    """
+
+    def __init__(
+        self,
+        executor: str = "serial",
+        max_workers: int | None = None,
+        checkpoint: str | Path | CheckpointStore | None = None,
+    ) -> None:
+        if executor not in EXECUTORS:
+            raise EvaluationError(f"unknown executor {executor!r}; available: {EXECUTORS}")
+        self.executor = executor
+        self.max_workers = max_workers
+        if checkpoint is None or isinstance(checkpoint, CheckpointStore):
+            self.store = checkpoint
+        else:
+            self.store = CheckpointStore(checkpoint)
+
+    # ------------------------------------------------------------------- api
+
+    def run(self, units: Iterable[WorkUnit], harness: "ExperimentHarness") -> SweepResult:
+        """Execute ``units`` (deduplicated, canonically ordered) and reduce.
+
+        Cached units (same configuration hash in the checkpoint store) are
+        reused without execution; everything else runs through the configured
+        executor.  The returned result's rows are identical regardless of
+        executor choice and of how many units came from the cache.
+        """
+        ordered = sorted(set(units))
+        digest = config_hash(harness.config)
+        cached_entries = self.store.load(digest) if self.store is not None else {}
+
+        outcomes: dict[str, UnitOutcome] = {}
+        pending: list[WorkUnit] = []
+        for unit in ordered:
+            entry = cached_entries.get(unit.unit_id)
+            if entry is not None:
+                outcomes[unit.unit_id] = UnitOutcome(
+                    unit=unit,
+                    rows=list(entry.get("rows", [])),
+                    skipped=int(entry.get("skipped", 0)),
+                    seconds=float(entry.get("seconds", 0.0)),
+                    cached=True,
+                )
+            else:
+                pending.append(unit)
+
+        start = time.perf_counter()
+        for outcome in self._execute(pending, harness):
+            outcomes[outcome.unit.unit_id] = outcome
+            if self.store is not None:
+                self.store.append(digest, outcome)
+
+        result = SweepResult(
+            outcomes=[outcomes[unit.unit_id] for unit in ordered],
+            config_digest=digest,
+            executor=self.executor,
+            wall_seconds=time.perf_counter() - start,
+        )
+        if self.store is not None:
+            write_manifest(result.manifest(), self.path_for_manifest(result))
+        return result
+
+    def path_for_manifest(self, result: SweepResult) -> Path:
+        """Where ``result``'s manifest lands: next to the checkpoint store,
+        named per experiment so sweeps sharing one store keep one manifest
+        each (e.g. ``units.saliency.manifest.json``)."""
+        if self.store is None:
+            raise EvaluationError("manifest path requested but no checkpoint store is configured")
+        experiments = result.manifest()["experiments"] or ["run"]
+        stem = self.store.path.with_suffix("")
+        return stem.with_name(f"{stem.name}.{'+'.join(experiments)}.manifest.json")
+
+    # ------------------------------------------------------------- executors
+
+    def _pool_width(self, pending_count: int) -> int:
+        width = self.max_workers or os.cpu_count() or 1
+        return max(1, min(width, pending_count))
+
+    def _execute(
+        self, pending: Sequence[WorkUnit], harness: "ExperimentHarness"
+    ) -> Iterable[UnitOutcome]:
+        """Yield outcomes for ``pending`` as they complete (any order)."""
+        if not pending:
+            return
+        if self.executor == "serial":
+            for unit in pending:
+                yield execute_unit(unit, harness)
+        elif self.executor == "threads":
+            with ThreadPoolExecutor(max_workers=self._pool_width(len(pending))) as pool:
+                futures = {pool.submit(execute_unit, unit, harness) for unit in pending}
+                while futures:
+                    done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        yield future.result()
+        else:  # processes
+            warm_codes = sorted({unit.dataset for unit in pending if unit.dataset})
+            with ProcessPoolExecutor(
+                max_workers=self._pool_width(len(pending)),
+                initializer=_warm_worker,
+                initargs=(harness.config, warm_codes),
+            ) as pool:
+                futures = {
+                    pool.submit(_execute_in_worker, harness.config, unit) for unit in pending
+                }
+                while futures:
+                    done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        yield future.result()

@@ -10,6 +10,7 @@ same way, and :class:`ModelCache` memoises trained matchers across experiments
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -80,21 +81,47 @@ def train_model_zoo(
 
 @dataclass
 class ModelCache:
-    """Memoises trained matchers per (dataset, model, fast) key."""
+    """Memoises trained matchers per (dataset, model, fast) key.
+
+    Safe to share across the sweep runner's ``threads`` executor: a per-key
+    event guarantees each matcher is trained exactly once while letting
+    *different* (model, dataset) keys train concurrently.  Process-pool
+    workers don't share the cache at all — each builds its own (training is
+    deterministic, so worker-trained matchers score identically).
+    """
 
     fast: bool = True
     _cache: dict[tuple[str, str, bool], TrainedModel] = field(default_factory=dict, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+    _pending: dict[tuple[str, str, bool], threading.Event] = field(default_factory=dict, repr=False, compare=False)
 
     def get(self, model_name: str, dataset: ERDataset) -> TrainedModel:
         """Return a trained matcher, training it on first request."""
         key = (dataset.name, model_name, self.fast)
-        if key not in self._cache:
-            self._cache[key] = train_model(model_name, dataset, fast=self.fast)
-        return self._cache[key]
+        while True:
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    return cached
+                pending = self._pending.get(key)
+                if pending is None:
+                    # This thread trains; others wait on the event below.
+                    self._pending[key] = threading.Event()
+                    break
+            pending.wait()
+        try:
+            trained = train_model(model_name, dataset, fast=self.fast)
+            with self._lock:
+                self._cache[key] = trained
+            return trained
+        finally:
+            with self._lock:
+                self._pending.pop(key).set()
 
     def clear(self) -> None:
         """Drop all cached models."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
 
 #: Library-wide shared cache used by the benchmark harness.

@@ -77,6 +77,35 @@ class TestExplainerFactories:
         explainers = harness.counterfactual_explainers(model, "BA")
         assert set(explainers) == set(COUNTERFACTUAL_METHODS)
 
+    def test_unknown_method_names_rejected(self, harness):
+        from repro.exceptions import EvaluationError
+
+        model = harness.trained("classical", "BA").model
+        with pytest.raises(EvaluationError, match="unknown saliency method"):
+            harness.saliency_explainer(model, "BA", "gradient")
+        with pytest.raises(EvaluationError, match="unknown counterfactual method"):
+            harness.counterfactual_explainer(model, "BA", "gradient")
+
+
+class TestUnitGenerators:
+    def test_saliency_units_cover_the_grid(self, harness):
+        units = harness.saliency_units(datasets=("BA",), models=("classical",), methods=("certa", "shap"))
+        assert [(unit.dataset, unit.model, unit.method) for unit in sorted(units)] == [
+            ("BA", "classical", "certa"), ("BA", "classical", "shap"),
+        ]
+        assert all(unit.experiment == "saliency" for unit in units)
+
+    def test_triangle_sweep_units_carry_tau_and_models(self, harness):
+        units = harness.triangle_sweep_units(triangle_counts=(4, 8), datasets=("BA",), models=("classical",))
+        assert [unit.index for unit in sorted(units)] == [4, 8]
+        assert all(unit.param("models") == ("classical",) for unit in units)
+
+    def test_sweep_records_the_last_result(self, harness):
+        rows = harness.saliency_rows(methods=("certa",))
+        assert harness.last_sweep is not None
+        assert harness.last_sweep.rows == rows
+        assert harness.last_sweep.manifest()["experiments"] == ["saliency"]
+
 
 class TestExperiments:
     def test_saliency_rows_structure(self, harness):
@@ -86,6 +115,7 @@ class TestExperiments:
             assert 0.0 <= row["faithfulness"] <= 1.0
             assert row["confidence_indication"] >= 0.0
             assert row["method"] in ("certa", "shap")
+            assert isinstance(row["skipped"], int) and row["skipped"] >= 0
 
     def test_counterfactual_rows_structure(self, harness):
         rows = harness.counterfactual_rows(methods=("certa", "lime-c"))
@@ -93,6 +123,7 @@ class TestExperiments:
         for row in rows:
             for metric in ("proximity", "sparsity", "diversity", "count"):
                 assert row[metric] >= 0.0
+            assert row["skipped"] >= 0
 
     def test_triangle_sweep_rows(self, harness):
         rows = harness.triangle_sweep_rows(

@@ -3,13 +3,20 @@
 from __future__ import annotations
 
 import csv
+import json
 
 from repro.eval.reporting import (
     best_method_per_group,
     format_table,
+    merge_row_streams,
     pivot_metric,
+    read_jsonl,
+    skipped_summary,
+    stable_row_key,
     win_counts,
     write_csv,
+    write_jsonl,
+    write_manifest,
 )
 
 ROWS = [
@@ -62,6 +69,69 @@ class TestWinners:
     def test_win_counts(self):
         counts = win_counts(ROWS, "faithfulness", lower_is_better=True)
         assert counts == {"certa": 1, "shap": 1}
+
+
+class TestStableRowKey:
+    def test_orders_by_dataset_model_method(self):
+        assert sorted(ROWS, key=stable_row_key) == ROWS
+
+    def test_numeric_tiebreaker_orders_numerically(self):
+        rows = [
+            {"dataset": "AB", "method": "certa", "pair_index": 10},
+            {"dataset": "AB", "method": "certa", "pair_index": 2},
+        ]
+        ordered = sorted(rows, key=stable_row_key)
+        assert [row["pair_index"] for row in ordered] == [2, 10]
+
+    def test_triangles_used_when_no_pair_index(self):
+        rows = [{"dataset": "AB", "triangles": 40}, {"dataset": "AB", "triangles": 5}]
+        ordered = sorted(rows, key=stable_row_key)
+        assert [row["triangles"] for row in ordered] == [5, 40]
+
+
+class TestMergeRowStreams:
+    def test_merges_sorted_streams_in_canonical_order(self):
+        left = [ROWS[0], ROWS[2]]
+        right = [ROWS[1], ROWS[3]]
+        merged = list(merge_row_streams(left, right))
+        assert merged == sorted(ROWS, key=stable_row_key)
+
+    def test_is_lazy(self):
+        def stream():
+            yield {"dataset": "AB"}
+            raise AssertionError("must not be consumed eagerly")
+
+        iterator = merge_row_streams(stream())
+        assert next(iterator) == {"dataset": "AB"}
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = write_jsonl(ROWS, tmp_path / "rows.jsonl")
+        assert list(read_jsonl(path)) == ROWS
+
+    def test_read_skips_truncated_tail(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        payload = json.dumps(ROWS[0])
+        path.write_text(payload + "\n" + payload[: len(payload) // 2])
+        assert list(read_jsonl(path)) == [ROWS[0]]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert list(read_jsonl(tmp_path / "absent.jsonl")) == []
+
+
+class TestManifestAndSkips:
+    def test_write_manifest_round_trip(self, tmp_path):
+        manifest = {"config": "abc", "units_total": 3, "skipped": 1}
+        path = write_manifest(manifest, tmp_path / "run.manifest.json")
+        assert json.loads(path.read_text()) == manifest
+
+    def test_skipped_summary_counts(self):
+        rows = [{"skipped": 2}, {"skipped": 0}, {"skipped": 1}]
+        assert "3" in skipped_summary(rows) and "2 row(s)" in skipped_summary(rows)
+
+    def test_skipped_summary_zero(self):
+        assert skipped_summary([{"skipped": 0}]) == "skipped explanations: 0"
 
 
 class TestWriteCsv:
