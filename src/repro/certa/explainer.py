@@ -30,6 +30,7 @@ from repro.explain.base import (
 )
 from repro.models.base import MATCH_THRESHOLD, ERModel
 from repro.models.engine import EngineStats, PredictionEngine
+from repro.models.featurizer import FeaturizerStats
 from repro.certa.lattice import (
     AttributeLattice,
     ExplorationStats,
@@ -60,6 +61,9 @@ class CertaExplanation:
     #: field is the number of model invocations the lattice work cost, to be
     #: compared against :meth:`performed_predictions` (node evaluations).
     lattice_engine_stats: EngineStats | None = None
+    #: Featurisation-cache counter delta over the whole explanation (the
+    #: layer below the engine); None when the model has no featurizer.
+    featurizer_stats: FeaturizerStats | None = None
 
     @property
     def prediction(self) -> float:
@@ -230,6 +234,7 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
     def explain_full(self, pair: RecordPair, num_triangles: int | None = None) -> CertaExplanation:
         """Run the complete CERTA algorithm for one prediction."""
         engine_start = self.engine.stats
+        featurizer_start = self.engine.featurizer_stats
         original_score = self.engine.predict_pair(pair)
         original_match = original_score > MATCH_THRESHOLD
 
@@ -240,7 +245,9 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
                     "no open triangles could be found for this prediction; "
                     "the data sources contain no record with the opposite prediction"
                 )
-            return self._degenerate_explanation(pair, original_score, search, engine_start)
+            return self._degenerate_explanation(
+                pair, original_score, search, engine_start, featurizer_start
+            )
 
         # Counters of Algorithm 1: necessity N[a], sufficiency S[A], flips f.
         necessity: dict[str, int] = {}
@@ -338,7 +345,15 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
             sufficiency_by_set=sufficiency_probability,
             engine_stats=self.engine.stats - engine_start,
             lattice_engine_stats=lattice_engine_stats,
+            featurizer_stats=self._featurizer_delta(featurizer_start),
         )
+
+    def _featurizer_delta(self, start: FeaturizerStats | None) -> FeaturizerStats | None:
+        """Featurisation counter delta since ``start`` (None when untracked)."""
+        current = self.engine.featurizer_stats
+        if current is None:
+            return None
+        return current - start if start is not None else current
 
     def _degenerate_explanation(
         self,
@@ -346,6 +361,7 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
         original_score: float,
         search: TriangleSearchResult,
         engine_start: EngineStats | None = None,
+        featurizer_start: FeaturizerStats | None = None,
     ) -> CertaExplanation:
         """All-zero explanation returned when no open triangle exists.
 
@@ -384,6 +400,7 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
             sufficiency_by_set={},
             engine_stats=(self.engine.stats - engine_start) if engine_start is not None else None,
             lattice_engine_stats=EngineStats(),
+            featurizer_stats=self._featurizer_delta(featurizer_start),
         )
 
     # ------------------------------------------------- protocol implementations

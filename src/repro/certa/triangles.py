@@ -118,11 +118,21 @@ def _find_side_triangles(
     allow_augmentation: bool,
     force_augmentation: bool = False,
     batch_size: int = 32,
+    exclude_support_ids: frozenset[str] | set[str] | None = None,
 ) -> tuple[list[OpenTriangle], int, int]:
-    """Find up to ``needed`` triangles on one side; returns (triangles, scored, augmented)."""
+    """Find up to ``needed`` triangles on one side; returns (triangles, scored, augmented).
+
+    ``exclude_support_ids`` lets the compensation pass of
+    :func:`find_open_triangles` skip support records it already used, so a
+    top-up scan never re-scores them.  ``scored`` counts only the candidates
+    the search actually consumed: when ``needed`` is reached mid-batch, the
+    unread tail of that batch is not counted (its scores are computed but
+    discarded, and an engine-backed model has them cached anyway).
+    """
     free = pair.left if side == "left" else pair.right
     pivot = pair.right if side == "left" else pair.left
     want_match = not original_match  # support record must get the opposite prediction
+    excluded = exclude_support_ids or frozenset()
 
     def support_pair(record: Record) -> RecordPair:
         if side == "left":
@@ -134,13 +144,15 @@ def _find_side_triangles(
 
     def scan(candidates: Sequence[Record], augmented: bool) -> None:
         nonlocal scored
+        if excluded:
+            candidates = [record for record in candidates if record.record_id not in excluded]
         for start in range(0, len(candidates), batch_size):
             if len(triangles) >= needed:
                 return
             batch = candidates[start : start + batch_size]
             scores = model.predict_proba([support_pair(record) for record in batch])
-            scored += len(batch)
             for record, score in zip(batch, scores):
+                scored += 1
                 is_match = score > MATCH_THRESHOLD
                 if is_match == want_match:
                     triangles.append(
@@ -209,18 +221,19 @@ def find_open_triangles(
     )
     triangles = left_triangles + right_triangles
 
-    # Let the left side compensate for a short right side.
+    # Let the left side compensate for a short right side.  The rescan skips
+    # the support records the first pass already used (so only the top-up is
+    # searched for and scored) instead of re-running the full search and
+    # filtering duplicates afterwards.
     if len(triangles) < count and len(left_triangles) == per_side:
         extra_needed = count - len(triangles)
+        used_support_ids = frozenset(triangle.support.record_id for triangle in left_triangles)
         extra, extra_scored, extra_augmented = _find_side_triangles(
             model, pair, "left", left_source, original_match,
-            per_side + extra_needed, rng, max_candidates, allow_augmentation, force_augmentation,
+            extra_needed, rng, max_candidates, allow_augmentation, force_augmentation,
+            exclude_support_ids=used_support_ids,
         )
-        new_triangles = [
-            triangle for triangle in extra
-            if all(triangle.support.record_id != existing.support.record_id for existing in left_triangles)
-        ]
-        triangles.extend(new_triangles[:extra_needed])
+        triangles.extend(extra)
         left_scored += extra_scored
         left_augmented += extra_augmented
 

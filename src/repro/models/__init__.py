@@ -6,6 +6,15 @@ from repro.models.engine import EngineStats, PredictionEngine, as_engine
 from repro.models.deeper import DeepERModel
 from repro.models.deepmatcher import DeepMatcherModel
 from repro.models.ditto import DittoModel
+from repro.models.featurizer import (
+    AttributePairFeaturizer,
+    ComparisonPairFeaturizer,
+    FeaturizerStats,
+    PairComparisonCache,
+    PairFeaturizer,
+    RecordPairFeaturizer,
+    SerializedPairFeaturizer,
+)
 from repro.models.metrics import (
     accuracy_score,
     classification_report,
@@ -27,17 +36,24 @@ from repro.models.training import (
 )
 
 __all__ = [
+    "AttributePairFeaturizer",
     "ClassicalMatcher",
+    "ComparisonPairFeaturizer",
     "DeepERModel",
     "DeepMatcherModel",
     "DittoModel",
     "ERModel",
     "EngineStats",
+    "FeaturizerStats",
     "MATCH_THRESHOLD",
     "MODEL_FACTORIES",
     "ModelCache",
     "PAPER_MODEL_NAMES",
+    "PairComparisonCache",
+    "PairFeaturizer",
     "PredictionEngine",
+    "RecordPairFeaturizer",
+    "SerializedPairFeaturizer",
     "SHARED_MODEL_CACHE",
     "TrainedModel",
     "TrainingReport",

@@ -19,6 +19,7 @@ import numpy as np
 from repro.data.dataset import PairSplit
 from repro.data.records import Record, RecordPair
 from repro.exceptions import ModelError, NotFittedError
+from repro.models.featurizer import FeaturizerStats, PairFeaturizer
 from repro.models.metrics import classification_report
 from repro.models.nn.network import MLPClassifier
 
@@ -78,6 +79,7 @@ class ERModel(ABC):
         dropout: float = 0.0,
         seed: int = 0,
         cache_predictions: bool = True,
+        batched_featurization: bool = True,
     ) -> None:
         self.hidden_dims = tuple(hidden_dims)
         self.epochs = epochs
@@ -85,8 +87,11 @@ class ERModel(ABC):
         self.dropout = dropout
         self.seed = seed
         self.cache_predictions = cache_predictions
+        self.batched_featurization = batched_featurization
         self._classifier: MLPClassifier | None = None
         self._cache: dict[tuple, float] = {}
+        #: Set by subclasses that support batched, content-cached featurisation.
+        self._featurizer: PairFeaturizer | None = None
         self.training_report: TrainingReport | None = None
 
     # ------------------------------------------------------------ subclass API
@@ -101,10 +106,30 @@ class ERModel(ABC):
     # -------------------------------------------------------------- featurising
 
     def featurize(self, pairs: Sequence[RecordPair]) -> np.ndarray:
-        """Feature matrix for a sequence of pairs."""
+        """Feature matrix for a sequence of pairs.
+
+        With ``batched_featurization=True`` (the default) and a subclass that
+        installed a featurizer, rows are assembled from content-cached
+        per-value artifacts; otherwise each pair goes through
+        :meth:`_featurize_pair`.  Both paths produce byte-identical matrices
+        (the golden equivalence of ``tests/test_featurizer.py``), so the flag
+        exists for measurement, not behaviour.
+        """
         if not pairs:
             raise ModelError(f"{self.name}: cannot featurize an empty pair sequence")
+        if self.batched_featurization and self._featurizer is not None:
+            return self._featurizer.featurize(pairs)
         return np.vstack([self._featurize_pair(pair) for pair in pairs])
+
+    @property
+    def featurizer_stats(self) -> FeaturizerStats | None:
+        """Cache counters of the featurisation layer (None when unsupported)."""
+        return self._featurizer.stats if self._featurizer is not None else None
+
+    def clear_featurizer_cache(self) -> None:
+        """Drop the featurisation caches (used for cold-start measurements)."""
+        if self._featurizer is not None:
+            self._featurizer.clear()
 
     # ----------------------------------------------------------------- training
 
@@ -144,6 +169,10 @@ class ERModel(ABC):
             patience=12,
         )
         self._cache.clear()
+        # Training values are mostly one-shot; dropping them keeps the
+        # featurisation caches sized by the (small, repetitive) explanation
+        # workload instead of the whole training set.
+        self.clear_featurizer_cache()
 
         train_scores = self._classifier.predict_proba(features)
         train_report = classification_report(labels > 0.5, train_scores >= MATCH_THRESHOLD)
@@ -192,7 +221,7 @@ class ERModel(ABC):
             else:
                 to_compute.append(index)
         if to_compute:
-            features = np.vstack([self._featurize_pair(pairs[index]) for index in to_compute])
+            features = self.featurize([pairs[index] for index in to_compute])
             computed = classifier.predict_proba(features)
             for position, index in enumerate(to_compute):
                 scores[index] = computed[position]

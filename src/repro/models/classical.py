@@ -16,6 +16,7 @@ import numpy as np
 from repro.data.records import RecordPair
 from repro.models.base import ERModel
 from repro.models.features import aligned_attribute_pairs, attribute_comparison_vector
+from repro.models.featurizer import ComparisonPairFeaturizer
 
 
 class ClassicalMatcher(ERModel):
@@ -37,6 +38,7 @@ class ClassicalMatcher(ERModel):
             seed=seed,
             **kwargs,
         )
+        self._featurizer = ComparisonPairFeaturizer()
 
     def _featurize_pair(self, pair: RecordPair) -> np.ndarray:
         vectors = [

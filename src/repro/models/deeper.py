@@ -19,6 +19,7 @@ import numpy as np
 from repro.data.records import RecordPair
 from repro.models.base import ERModel
 from repro.models.features import RecordEmbedder
+from repro.models.featurizer import RecordPairFeaturizer
 from repro.text.embeddings import HashedEmbeddings
 
 
@@ -45,6 +46,7 @@ class DeepERModel(ERModel):
         )
         self.embedding_dim = embedding_dim
         self._embedder = RecordEmbedder(HashedEmbeddings(dimension=embedding_dim, seed=seed + 17))
+        self._featurizer = RecordPairFeaturizer(embeddings=self._embedder.embeddings)
 
     def _featurize_pair(self, pair: RecordPair) -> np.ndarray:
         return self._embedder.compose_pair(pair)

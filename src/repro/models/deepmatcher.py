@@ -17,6 +17,7 @@ import numpy as np
 from repro.data.records import RecordPair
 from repro.models.base import ERModel
 from repro.models.features import AttributeEmbedder, attribute_comparison_vector
+from repro.models.featurizer import AttributePairFeaturizer
 from repro.text.embeddings import HashedEmbeddings
 
 
@@ -43,6 +44,7 @@ class DeepMatcherModel(ERModel):
         )
         self.embedding_dim = embedding_dim
         self._embedder = AttributeEmbedder(HashedEmbeddings(dimension=embedding_dim, seed=seed + 31))
+        self._featurizer = AttributePairFeaturizer(embeddings=self._embedder.embeddings)
 
     def _featurize_pair(self, pair: RecordPair) -> np.ndarray:
         attribute_part = self._embedder.compose_pair(pair)

@@ -21,6 +21,7 @@ from repro.data.dataset import PairSplit
 from repro.data.records import Record, RecordPair
 from repro.models.base import ERModel, TrainingReport
 from repro.models.features import SerializedPairEncoder
+from repro.models.featurizer import SerializedPairFeaturizer
 from repro.text.embeddings import HashedEmbeddings
 from repro.text.vectorize import HashingVectorizer
 
@@ -70,6 +71,9 @@ class DittoModel(ERModel):
         self._encoder = SerializedPairEncoder(
             vectorizer=HashingVectorizer(n_features=hash_features, seed=seed + 7),
             embeddings=HashedEmbeddings(dimension=embedding_dim, seed=seed + 11),
+        )
+        self._featurizer = SerializedPairFeaturizer(
+            embeddings=self._encoder.embeddings, vectorizer=self._encoder.vectorizer
         )
 
     def _featurize_pair(self, pair: RecordPair) -> np.ndarray:

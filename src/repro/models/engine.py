@@ -36,6 +36,7 @@ import numpy as np
 from repro.data.records import RecordPair
 from repro.exceptions import ModelError
 from repro.models.base import MATCH_THRESHOLD, pair_cache_key
+from repro.models.featurizer import FeaturizerStats
 
 
 @runtime_checkable
@@ -130,7 +131,11 @@ class PredictionEngine:
     predictions itself (``cache_predictions=True``), so wrapping one stores
     each score in both layers.  That is harmless but doubles the cache
     memory; construct the model with ``cache_predictions=False`` (or the
-    engine with ``cache=False``) to keep a single layer.
+    engine with ``cache=False``) to keep a single layer.  The experiment
+    harness does exactly that: models trained through
+    :class:`~repro.models.training.ModelCache` are built with
+    ``cache_predictions=False`` because every explanation-path score goes
+    through an engine.
     """
 
     def __init__(
@@ -157,6 +162,16 @@ class PredictionEngine:
     def reset_stats(self) -> None:
         """Zero the counters (the cache is left intact)."""
         self._stats = EngineStats()
+
+    @property
+    def featurizer_stats(self) -> FeaturizerStats | None:
+        """Counters of the wrapped model's featurisation caches.
+
+        The layer *below* the engine: a cache miss here still pays model
+        featurisation, whose own value/comparison caches these counters
+        describe.  ``None`` when the wrapped scorer has no featurizer.
+        """
+        return getattr(self.model, "featurizer_stats", None)
 
     def clear_cache(self) -> None:
         """Drop all memoised scores (counters are left intact)."""

@@ -56,14 +56,26 @@ class TrainedModel:
         return self.model.name
 
 
-def train_model(model_name: str, dataset: ERDataset, fast: bool = False, **overrides) -> TrainedModel:
+def train_model(
+    model_name: str,
+    dataset: ERDataset,
+    fast: bool = False,
+    cache_predictions: bool | None = None,
+    **overrides,
+) -> TrainedModel:
     """Train one matcher on one dataset and evaluate it on the test split.
 
     ``fast=True`` reduces the number of epochs, which benchmarks use when the
     point of the experiment is the explainer rather than matcher quality.
+    ``cache_predictions=False`` disables the model's own score memoisation —
+    the right construction when the fitted model will be wrapped in a
+    :class:`~repro.models.engine.PredictionEngine`, so each score is cached
+    in exactly one layer.
     """
     if fast and "epochs" not in overrides:
         overrides["epochs"] = 35
+    if cache_predictions is not None and "cache_predictions" not in overrides:
+        overrides["cache_predictions"] = cache_predictions
     model = make_model(model_name, **overrides)
     report = model.fit(dataset.train, dataset.valid)
     test_metrics = model.evaluate(dataset.test.pairs) if len(dataset.test) else {}
@@ -88,9 +100,16 @@ class ModelCache:
     *different* (model, dataset) keys train concurrently.  Process-pool
     workers don't share the cache at all — each builds its own (training is
     deterministic, so worker-trained matchers score identically).
+
+    Models are constructed with ``cache_predictions=False`` by default: the
+    harness and explainers route every explanation-path score through a
+    :class:`~repro.models.engine.PredictionEngine`, so memoising in the model
+    as well would store each score twice (the layering issue flagged in the
+    engine docstring).
     """
 
     fast: bool = True
+    cache_predictions: bool = False
     _cache: dict[tuple[str, str, bool], TrainedModel] = field(default_factory=dict, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
     _pending: dict[tuple[str, str, bool], threading.Event] = field(default_factory=dict, repr=False, compare=False)
@@ -110,7 +129,9 @@ class ModelCache:
                     break
             pending.wait()
         try:
-            trained = train_model(model_name, dataset, fast=self.fast)
+            trained = train_model(
+                model_name, dataset, fast=self.fast, cache_predictions=self.cache_predictions
+            )
             with self._lock:
                 self._cache[key] = trained
             return trained

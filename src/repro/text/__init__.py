@@ -1,6 +1,7 @@
 """Text substrate: tokenisation, similarity, vectorisation and embeddings."""
 
 from repro.text.embeddings import HashedEmbeddings
+from repro.text.interning import ValueFeatureCache, ValueFeatures
 from repro.text.similarity import (
     attribute_similarity,
     cosine_tokens,
@@ -10,10 +11,14 @@ from repro.text.similarity import (
     jaro_winkler,
     levenshtein_distance,
     levenshtein_similarity,
+    memoized_jaro_winkler,
+    memoized_levenshtein_similarity,
+    memoized_monge_elkan,
     monge_elkan,
     numeric_similarity,
     overlap_coefficient,
     pair_similarity_profile,
+    parsed_numeric_similarity,
     qgram_similarity,
 )
 from repro.text.tokenize import qgrams, token_ngrams, tokenize, truncate_tokens, whitespace_tokenize
@@ -30,6 +35,8 @@ __all__ = [
     "HashedEmbeddings",
     "HashingVectorizer",
     "TfIdfVectorizer",
+    "ValueFeatureCache",
+    "ValueFeatures",
     "Vocabulary",
     "attribute_similarity",
     "cosine_similarity",
@@ -41,10 +48,14 @@ __all__ = [
     "jaro_winkler",
     "levenshtein_distance",
     "levenshtein_similarity",
+    "memoized_jaro_winkler",
+    "memoized_levenshtein_similarity",
+    "memoized_monge_elkan",
     "monge_elkan",
     "numeric_similarity",
     "overlap_coefficient",
     "pair_similarity_profile",
+    "parsed_numeric_similarity",
     "qgram_similarity",
     "qgrams",
     "stable_token_hash",

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Iterable, Sequence
+from functools import lru_cache
+from typing import Callable, Iterable, Sequence
 
 from repro.text.tokenize import qgrams, tokenize
 
@@ -141,21 +142,75 @@ def jaro_winkler(left: str, right: str, prefix_scale: float = 0.1, max_prefix: i
     return base + prefix * prefix_scale * (1.0 - base)
 
 
-def monge_elkan(left_tokens: Sequence[str], right_tokens: Sequence[str]) -> float:
-    """Monge-Elkan similarity: average best Jaro-Winkler match per left token."""
+def monge_elkan(
+    left_tokens: Sequence[str],
+    right_tokens: Sequence[str],
+    token_similarity: "Callable[[str, str], float]" = jaro_winkler,
+) -> float:
+    """Monge-Elkan similarity: average best Jaro-Winkler match per left token.
+
+    ``token_similarity`` exists so the memoised wrapper can reuse this loop
+    with a cached token comparator instead of duplicating it.
+    """
     if not left_tokens and not right_tokens:
         return 1.0
     if not left_tokens or not right_tokens:
         return 0.0
     total = 0.0
     for left_token in left_tokens:
-        total += max(jaro_winkler(left_token, right_token) for right_token in right_tokens)
+        total += max(token_similarity(left_token, right_token) for right_token in right_tokens)
     return total / len(left_tokens)
+
+
+@lru_cache(maxsize=1 << 18)
+def memoized_levenshtein_similarity(left: str, right: str) -> float:
+    """Memoised :func:`levenshtein_similarity` (same values, O(1) on repeats).
+
+    The edit-distance dynamic program is the O(n^2) core of
+    :func:`attribute_similarity` and of the matchers' comparison features;
+    perturbation workloads compare the same value pairs over and over, so the
+    content-cached featurisation layer routes through this wrapper.  The cache
+    is process-wide and bounded (least-recently-used eviction).
+    """
+    return levenshtein_similarity(left, right)
+
+
+@lru_cache(maxsize=1 << 18)
+def memoized_jaro_winkler(left: str, right: str) -> float:
+    """Memoised :func:`jaro_winkler` over single tokens (same values)."""
+    return jaro_winkler(left, right)
+
+
+@lru_cache(maxsize=1 << 17)
+def memoized_monge_elkan(left_tokens: tuple[str, ...], right_tokens: tuple[str, ...]) -> float:
+    """Memoised :func:`monge_elkan` over token tuples.
+
+    Two cache layers over the one shared loop: the whole token-tuple pair,
+    and each token-level Jaro-Winkler comparison via
+    :func:`memoized_jaro_winkler`.
+    """
+    return monge_elkan(left_tokens, right_tokens, token_similarity=memoized_jaro_winkler)
 
 
 def qgram_similarity(left: str, right: str, q: int = 3) -> float:
     """Jaccard similarity over character q-grams."""
     return jaccard(qgrams(left, q=q), qgrams(right, q=q))
+
+
+def parsed_numeric_similarity(left_value: float, right_value: float) -> float:
+    """Relative difference of two parsed numbers mapped to [0, 1].
+
+    The shared core of :func:`numeric_similarity`, also used by the
+    content-cached featurisation layer over pre-parsed values.
+    """
+    if math.isnan(left_value) or math.isnan(right_value):
+        return 0.0
+    if left_value == right_value:
+        return 1.0
+    denominator = max(abs(left_value), abs(right_value))
+    if denominator == 0:
+        return 1.0
+    return max(0.0, 1.0 - abs(left_value - right_value) / denominator)
 
 
 def numeric_similarity(left: str, right: str) -> float:
@@ -169,14 +224,7 @@ def numeric_similarity(left: str, right: str) -> float:
         right_value = float(right)
     except (TypeError, ValueError):
         return 1.0 if left == right else 0.0
-    if math.isnan(left_value) or math.isnan(right_value):
-        return 0.0
-    if left_value == right_value:
-        return 1.0
-    denominator = max(abs(left_value), abs(right_value))
-    if denominator == 0:
-        return 1.0
-    return max(0.0, 1.0 - abs(left_value - right_value) / denominator)
+    return parsed_numeric_similarity(left_value, right_value)
 
 
 def attribute_similarity(left_value: str, right_value: str) -> float:

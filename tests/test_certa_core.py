@@ -10,7 +10,7 @@ from repro.certa.augmentation import augment_records, record_variants, value_tok
 from repro.certa.explainer import CertaExplainer
 from repro.certa.perturbation import perturb_record, perturbed_pair
 from repro.certa.tokens import token_saliency
-from repro.certa.triangles import find_open_triangles
+from repro.certa.triangles import _find_side_triangles, find_open_triangles
 from repro.data.records import RecordPair
 from repro.data.table import DataSource
 from repro.exceptions import ExplanationError, TriangleError
@@ -178,6 +178,71 @@ class TestTriangleSearch:
             similarity_model, match_pair, left, right, count=6, seed=0, force_augmentation=True
         )
         assert all(triangle.augmented for triangle in result.triangles)
+
+    def test_excluded_supports_are_neither_used_nor_scored(self, similarity_model, sources, match_pair):
+        """The compensation pass's exclusion set skips records entirely."""
+        left, _ = sources
+        original_match = similarity_model.predict_match(match_pair)
+        baseline, baseline_scored, _ = _find_side_triangles(
+            similarity_model, match_pair, "left", left, original_match,
+            needed=10, rng=random.Random(0), max_candidates=None,
+            allow_augmentation=False,
+        )
+        assert baseline  # the toy sources supply at least one left triangle
+        excluded = frozenset(triangle.support.record_id for triangle in baseline)
+        rescan, rescan_scored, _ = _find_side_triangles(
+            similarity_model, match_pair, "left", left, original_match,
+            needed=10, rng=random.Random(0), max_candidates=None,
+            allow_augmentation=False, exclude_support_ids=excluded,
+        )
+        assert all(triangle.support.record_id not in excluded for triangle in rescan)
+        assert rescan_scored <= baseline_scored - len(excluded)
+
+    def test_mid_batch_tail_is_not_counted_as_scored(self, constant_model, sources, match_pair):
+        """Once ``needed`` is reached, unread batch-tail candidates don't count."""
+        left, _ = sources
+        # ConstantModel scores 0.9 > threshold: every candidate qualifies when
+        # the original prediction is a non-match, so the very first candidate
+        # of the first batch completes the search.
+        triangles, scored, _ = _find_side_triangles(
+            constant_model, match_pair, "left", left, original_match=False,
+            needed=1, rng=random.Random(0), max_candidates=None,
+            allow_augmentation=False, batch_size=32,
+        )
+        assert len(triangles) == 1
+        assert scored == 1
+
+    def test_left_compensates_short_right_side_without_duplicates(self, similarity_model, match_pair):
+        """A short right side is topped up from the left, never reusing supports."""
+        left_records = [
+            make_record(f"XL{i}", f"gadget {i}", f"unrelated widget {i} kit", str(10 + i))
+            for i in range(8)
+        ]
+        left_records.append(match_pair.left)
+        # Every right-side candidate is a near-duplicate of the pivot, so the
+        # right search finds no opposite-prediction support at all.
+        right_records = [match_pair.right] + [
+            make_record(
+                f"R{i}", match_pair.right.value("name"), match_pair.right.value("description"),
+                match_pair.right.value("price"), source="V",
+            )
+            for i in range(1, 4)
+        ]
+        left = DataSource(name="wide-left", schema=LEFT_SCHEMA, records=left_records)
+        right = DataSource(name="narrow-right", schema=LEFT_SCHEMA, records=right_records)
+        result = find_open_triangles(
+            similarity_model, match_pair, left, right, count=6, seed=0,
+            allow_augmentation=False,
+        )
+        left_supports = [
+            triangle.support.record_id for triangle in result.triangles if triangle.side == "left"
+        ]
+        assert len(left_supports) == len(set(left_supports))  # compensation never reuses
+        assert len(result.triangles) > 3  # the left side topped up the short right side
+        # Each left candidate is scored at most twice (first pass + top-up
+        # rescan of the not-yet-used remainder) and used supports are skipped,
+        # so the accounting stays below the naive full-rescan ceiling.
+        assert result.candidates_scored <= 2 * (len(left_records) - 1) + len(right_records) - 1
 
 
 class TestCertaExplainer:

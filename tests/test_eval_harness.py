@@ -154,6 +154,10 @@ class TestExperiments:
             assert row["lattice_batches"] <= row["sequential_calls"]
             if row["nodes_evaluated"]:
                 assert row["lattice_batches"] <= row["nodes_evaluated"]
+            # Featurisation-layer counters ride along with the engine stats.
+            assert row["rows_built"] > 0
+            assert 0.0 <= row["value_hit_rate"] <= 1.0
+            assert 0.0 <= row["comparison_hit_rate"] <= 1.0
 
     def test_augmentation_supply_rows(self, harness):
         rows = harness.augmentation_supply_rows(

@@ -207,6 +207,57 @@ class TestEngineCache:
         assert delta.hits + delta.misses == delta.requests
 
 
+# ------------------------------------------------------------ stats arithmetic
+
+
+class TestEngineStats:
+    def test_subtraction_fields(self):
+        later = EngineStats(requests=20, hits=12, misses=8, batches=3, max_batch=6)
+        earlier = EngineStats(requests=5, hits=2, misses=3, batches=1, max_batch=4)
+        delta = later - earlier
+        assert delta.requests == 15
+        assert delta.hits == 10
+        assert delta.misses == 5
+        assert delta.batches == 2
+        # max_batch is a high-water mark, not a counter: the delta keeps the
+        # later snapshot's value instead of subtracting.
+        assert delta.max_batch == later.max_batch
+        assert delta.hits + delta.misses == delta.requests
+
+    def test_subtracting_self_is_zero_counters(self):
+        stats = EngineStats(requests=7, hits=4, misses=3, batches=2, max_batch=5)
+        delta = stats - stats
+        assert (delta.requests, delta.hits, delta.misses, delta.batches) == (0, 0, 0, 0)
+
+    def test_hit_rate_at_zero_requests(self):
+        assert EngineStats().hit_rate == 0.0
+        assert EngineStats().as_dict()["hit_rate"] == 0.0
+
+    def test_hit_rate_values(self):
+        assert EngineStats(requests=4, hits=3, misses=1).hit_rate == 0.75
+        assert EngineStats(requests=4, hits=0, misses=4).hit_rate == 0.0
+
+    def test_invariant_holds_without_cache(self, labelled_pairs, match_pair):
+        """hits + misses == requests even when caching (and dedup) is off."""
+        engine = PredictionEngine(SimilarityModel(), cache=False)
+        engine.predict_proba(labelled_pairs)
+        engine.predict_proba([match_pair] * 4)  # duplicates all count as misses
+        stats = engine.stats
+        assert stats.hits == 0
+        assert stats.misses == stats.requests == len(labelled_pairs) + 4
+        assert stats.hit_rate == 0.0
+
+    def test_invariant_holds_across_snapshots(self, labelled_pairs):
+        engine = PredictionEngine(SimilarityModel(), batch_size=4)
+        snapshots = [engine.stats]
+        for index in range(1, len(labelled_pairs) + 1):
+            engine.predict_proba(labelled_pairs[:index])
+            snapshots.append(engine.stats)
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            delta = later - earlier
+            assert delta.hits + delta.misses == delta.requests
+
+
 # ------------------------------------------------------- lattice equivalence
 
 
