@@ -1,0 +1,169 @@
+"""Support-candidate generation: source token index vs full-scan reference.
+
+The engineering complement to ``bench_prediction_engine.py`` (fewer model
+invocations) and ``bench_featurization.py`` (cheaper invocations) one layer
+earlier in the pipeline: before CERTA can score a single support candidate it
+has to *find* them, and the scan reference re-tokenises the entire data
+source for every explained pair and side.  This benchmark measures the
+candidate-generation workload of a triangle sweep — the top-k
+similarity ranking of ``repro.certa.triangles._ranked_candidates``, one query
+per (pair, side) — against a ~5k-record synthetic source, plus the token
+blocking pass both sources pay once per dataset.
+
+Both workloads are asserted *identical* between the indexed and scan paths
+(the same guarantee ``tests/test_triangle_index.py`` pins at unit scale), and
+the ranking workload must be at least 3x faster indexed.  Results (speedups,
+index counters) are written to ``BENCH_triangle_index.json`` at the
+repository root so the perf trajectory stays machine-readable across PRs.
+``REPRO_BENCH_FAST=1`` shrinks the source for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.data.blocking import token_blocking, top_k_neighbours
+from repro.data.indexing import get_source_index
+from repro.data.records import Record, Schema
+from repro.data.synthetic import PRODUCT_BRANDS, PRODUCT_QUALIFIERS, PRODUCT_TYPES
+from repro.data.table import DataSource
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_triangle_index.json"
+SCHEMA = Schema.from_names(["name", "description", "price"])
+
+
+def _fast_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+
+def _product_record(rng: random.Random, prefix: str, index: int, source: str) -> Record:
+    brand = rng.choice(PRODUCT_BRANDS)
+    kind = rng.choice(PRODUCT_TYPES)
+    qualifiers = rng.sample(PRODUCT_QUALIFIERS, k=rng.randint(2, 4))
+    return Record.from_raw(
+        f"{prefix}{index}",
+        {
+            "name": f"{brand} {kind}",
+            "description": f"{brand} {' '.join(qualifiers)} {kind} model {index % 97}",
+            "price": f"{rng.randint(20, 900)}.{rng.randint(0, 99):02d}",
+        },
+        SCHEMA,
+        source=source,
+    )
+
+
+def _workload() -> tuple[DataSource, DataSource, list[Record], int]:
+    """A large support-record source, a query side and the ranking depth."""
+    fast = _fast_mode()
+    source_size = 1200 if fast else 5000
+    query_count = 6 if fast else 12
+    rng = random.Random(42)
+    source = DataSource(
+        name="bench-support-source",
+        schema=SCHEMA,
+        records=[_product_record(rng, "S", index, "U") for index in range(source_size)],
+    )
+    query_side = DataSource(
+        name="bench-query-source",
+        schema=SCHEMA,
+        records=[_product_record(rng, "Q", index, "V") for index in range(query_count)],
+    )
+    return source, query_side, list(query_side), 400
+
+
+def test_triangle_index_speedup(benchmark, results_dir):
+    """Indexed vs scan candidate generation: wall-clock, identity, counters."""
+    source, query_side, queries, depth = _workload()
+
+    def experiment():
+        # --- ranking workload: one top-k query per (explained pair, side) ---
+        start = time.perf_counter()
+        scanned = [
+            top_k_neighbours(query, source, k=depth, indexed=False) for query in queries
+        ]
+        scan_seconds = time.perf_counter() - start
+
+        index = get_source_index(source, 2)
+        start = time.perf_counter()
+        indexed = [
+            top_k_neighbours(query, source, k=depth, indexed=True) for query in queries
+        ]
+        indexed_seconds = time.perf_counter() - start  # includes the one-off build
+        # Snapshot before the blocking workload touches the same index, so the
+        # reported ranking counters cover exactly the top-k queries above.
+        ranking_stats = index.stats
+
+        ranking_identical = all(
+            [record.record_id for record in a] == [record.record_id for record in b]
+            for a, b in zip(indexed, scanned)
+        )
+
+        # --- blocking workload: the once-per-dataset token blocking pass ---
+        start = time.perf_counter()
+        blocking_scan = token_blocking(source, query_side, indexed=False)
+        blocking_scan_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        blocking_indexed = token_blocking(source, query_side, indexed=True)
+        blocking_indexed_seconds = time.perf_counter() - start
+
+        return {
+            "ranking": {
+                "queries": len(queries),
+                "depth": depth,
+                "scan_seconds": scan_seconds,
+                "indexed_seconds": indexed_seconds,
+                "speedup": (scan_seconds / indexed_seconds) if indexed_seconds else 0.0,
+                "identical": ranking_identical,
+                **ranking_stats.as_dict(),
+            },
+            "blocking": {
+                "pairs": len(blocking_indexed.pairs),
+                "scan_seconds": blocking_scan_seconds,
+                "indexed_seconds": blocking_indexed_seconds,
+                "speedup": (
+                    (blocking_scan_seconds / blocking_indexed_seconds)
+                    if blocking_indexed_seconds
+                    else 0.0
+                ),
+                "identical": blocking_indexed.pairs == blocking_scan.pairs,
+            },
+        }
+
+    report = run_once(benchmark, experiment)
+
+    payload = {
+        "benchmark": "triangle_index",
+        "workload": {
+            "source_records": len(source),
+            "queries": report["ranking"]["queries"],
+            "depth": report["ranking"]["depth"],
+            "fast": _fast_mode(),
+            "shape": "per-(pair, side) top-k support ranking + per-dataset token blocking",
+        },
+        **report,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    rows = [{"workload": name, **entry} for name, entry in report.items()]
+    print("\n=== Candidate generation: source token index vs full scan ===")
+    print(format_table(rows))
+    print(
+        f"ranking speedup: {report['ranking']['speedup']:.1f}x over "
+        f"{len(source)} records -> {RESULT_PATH.name}"
+    )
+
+    assert report["ranking"]["identical"], "indexed ranking diverged from the scan reference"
+    assert report["blocking"]["identical"], "indexed blocking diverged from the scan reference"
+    assert report["ranking"]["index_builds"] == 1, "the source index must build exactly once"
+    # Acceptance: >= 3x cheaper candidate generation on the ~5k-record source.
+    assert report["ranking"]["speedup"] >= 3.0, (
+        f"expected >=3x candidate-generation speedup, got {report['ranking']['speedup']:.2f}x"
+    )

@@ -65,6 +65,13 @@ def main() -> None:
               f"value cache {featurizer.value_hit_rate:.0%} hits, "
               f"comparison cache {featurizer.comparison_hit_rate:.0%} hits")
 
+    # 5. The layer before any model call: the support-candidate index.
+    index = batched.index_stats
+    if index is not None:
+        print(f"candidate index: {index.builds} builds, {index.queries} queries, "
+              f"{index.postings_visited} postings visited, "
+              f"{index.candidates_pruned} candidates pruned")
+
 
 if __name__ == "__main__":
     main()

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.data.indexing import IndexStats
 from repro.data.records import RecordPair
 from repro.data.table import DataSource
 from repro.exceptions import ExplanationError
@@ -64,6 +65,10 @@ class CertaExplanation:
     #: Featurisation-cache counter delta over the whole explanation (the
     #: layer below the engine); None when the model has no featurizer.
     featurizer_stats: FeaturizerStats | None = None
+    #: Source-index counter delta of the triangle search (builds, queries,
+    #: postings visited, candidates pruned); None when the explainer ran with
+    #: ``indexed=False``.
+    index_stats: IndexStats | None = None
 
     @property
     def prediction(self) -> float:
@@ -138,6 +143,7 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
         engine: PredictionEngine | None = None,
         batched: bool = True,
         batch_size: int = 256,
+        indexed: bool = True,
     ) -> None:
         SaliencyExplainer.__init__(
             self, model, engine=engine or PredictionEngine(model, batch_size=batch_size)
@@ -153,6 +159,7 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
         self.strict = strict
         self.seed = seed
         self.batched = batched
+        self.indexed = indexed
 
     # ------------------------------------------------------------------ helpers
 
@@ -167,6 +174,7 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
             max_candidates=self.max_candidates,
             allow_augmentation=self.allow_augmentation,
             force_augmentation=self.force_augmentation,
+            indexed=self.indexed,
         )
 
     def _process_triangle(
@@ -346,6 +354,7 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
             engine_stats=self.engine.stats - engine_start,
             lattice_engine_stats=lattice_engine_stats,
             featurizer_stats=self._featurizer_delta(featurizer_start),
+            index_stats=search.index_stats,
         )
 
     def _featurizer_delta(self, start: FeaturizerStats | None) -> FeaturizerStats | None:
@@ -401,6 +410,7 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
             engine_stats=(self.engine.stats - engine_start) if engine_start is not None else None,
             lattice_engine_stats=EngineStats(),
             featurizer_stats=self._featurizer_delta(featurizer_start),
+            index_stats=search.index_stats,
         )
 
     # ------------------------------------------------- protocol implementations

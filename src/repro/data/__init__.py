@@ -1,6 +1,15 @@
 """Data substrate: records, sources, datasets, synthetic benchmarks and IO."""
 
-from repro.data.blocking import BlockingResult, candidate_pairs, token_blocking, top_k_neighbours
+from repro.data.blocking import (
+    DEFAULT_BLOCKING_TOKEN_LENGTH,
+    BlockingResult,
+    candidate_pairs,
+    overlap_score,
+    record_blocking_tokens,
+    token_blocking,
+    top_k_neighbours,
+)
+from repro.data.indexing import IndexStats, SourceTokenIndex, get_source_index
 from repro.data.dataset import ERDataset, PairSplit, build_dataset, split_pairs
 from repro.data.dirty import dirtiness_rate, make_dirty_record, make_dirty_source
 from repro.data.io import (
@@ -27,10 +36,13 @@ __all__ = [
     "BENCHMARK_CODES",
     "BenchmarkInfo",
     "BlockingResult",
+    "DEFAULT_BLOCKING_TOKEN_LENGTH",
     "DataSource",
     "ERDataset",
+    "IndexStats",
     "MISSING_VALUE",
     "PairSplit",
+    "SourceTokenIndex",
     "Record",
     "RecordPair",
     "Schema",
@@ -41,13 +53,16 @@ __all__ = [
     "candidate_pairs",
     "dirtiness_rate",
     "generate_dataset",
+    "get_source_index",
     "list_benchmarks",
     "load_benchmark",
     "load_dataset",
     "make_dirty_record",
     "make_dirty_source",
     "normalize_value",
+    "overlap_score",
     "read_pairs_csv",
+    "record_blocking_tokens",
     "read_source_csv",
     "save_dataset",
     "split_pairs",

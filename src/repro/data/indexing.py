@@ -1,0 +1,337 @@
+"""Inverted token indexes over data sources for candidate generation.
+
+CERTA's open-triangle discovery and the blocking layer both ask the same
+question many times over: *which records of this source share content with
+this query record?*  The scan answers (:func:`repro.data.blocking.overlap_score`
+over every record, :func:`repro.data.blocking.token_blocking` re-tokenising
+both sources) re-derive the blocking-token set of every record on every call,
+which makes candidate generation the dominant cost of a triangle search once
+model calls are batched and featurisation is cached.
+
+:class:`SourceTokenIndex` computes each record's blocking-token set exactly
+once (interned by record *content*, following the
+:mod:`repro.text.interning` pattern, so perturbed copies of the same record
+are free) and stores an inverted index from token to the records containing
+it.  On top of that it answers:
+
+* :meth:`top_k` — the exact top-k records by Jaccard overlap with a query,
+  with the same ``(-score, record_id)`` ordering as the scan reference.  The
+  traversal walks posting lists rarest-token-first and stops early once the
+  k-th best exact score provably beats the upper bound ``remaining / |Q|``
+  reachable by any record not yet seen.
+* :meth:`posting_items` — token -> record ids, the raw material of token
+  blocking.
+* :meth:`token_set` / :meth:`query_tokens` — interned blocking-token sets for
+  index records and ad-hoc query records.
+
+Indexes are built lazily, cached on the :class:`~repro.data.table.DataSource`
+instance per ``min_token_length`` (:func:`get_source_index`), and invalidated
+by generation: each build records ``source.data_version`` and a stale index
+transparently rebuilds on next use.  :class:`IndexStats` counts builds,
+queries, postings visited and candidates pruned; the counters surface through
+``TriangleSearchResult.index_stats``, ``CertaExplanation.index_stats`` and the
+eval-harness rows.
+
+Every artifact is derived by the same public functions the scan path calls
+(:func:`repro.data.blocking.record_blocking_tokens` semantics via
+:func:`repro.text.tokenize.tokenize`), so indexed and scanned candidate
+generation produce **identical** results — the equivalence asserted by
+``tests/test_triangle_index.py`` and re-checked by
+``benchmarks/bench_triangle_index.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.data.blocking import token_jaccard
+from repro.data.records import Record
+from repro.data.table import DataSource
+from repro.text.tokenize import tokenize
+
+#: Interned blocking-token sets keyed by (record content text, min length).
+#: Content-addressed like :class:`repro.text.interning.ValueFeatureCache`:
+#: perturbed/augmented copies of a record share one entry per process.
+_TOKEN_SET_CACHE: dict[tuple[str, int], frozenset[str]] = {}
+
+
+def interned_blocking_tokens(record: Record, min_length: int) -> frozenset[str]:
+    """The record's blocking-token set, computed once per distinct content.
+
+    Byte-identical to ``frozenset(record_blocking_tokens(record, min_length))``
+    from :mod:`repro.data.blocking`; the cache only changes how often the
+    tokenisation runs.
+    """
+    key = (record.as_text(), min_length)
+    cached = _TOKEN_SET_CACHE.get(key)
+    if cached is None:
+        cached = frozenset(
+            token for token in tokenize(key[0]) if len(token) >= min_length
+        )
+        _TOKEN_SET_CACHE[key] = cached
+    return cached
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Counters of one (or a sum of) :class:`SourceTokenIndex` (snapshot semantics).
+
+    ``builds``
+        Full index (re)builds, including generation-triggered rebuilds.
+    ``queries``
+        Top-k queries plus whole-index traversals (one per blocking pass).
+    ``postings_visited``
+        Posting-list entries read while answering queries.
+    ``candidates_pruned``
+        Records never materialised as ranking candidates thanks to the
+        inverted index (zero-overlap records skipped plus records cut off by
+        the early-termination bound).
+    """
+
+    builds: int = 0
+    queries: int = 0
+    postings_visited: int = 0
+    candidates_pruned: int = 0
+
+    def __sub__(self, other: "IndexStats") -> "IndexStats":
+        """Counter delta between two snapshots."""
+        return IndexStats(
+            builds=self.builds - other.builds,
+            queries=self.queries - other.queries,
+            postings_visited=self.postings_visited - other.postings_visited,
+            candidates_pruned=self.candidates_pruned - other.candidates_pruned,
+        )
+
+    def __add__(self, other: "IndexStats") -> "IndexStats":
+        """Counter sum, for aggregating across indexes or explanations."""
+        return IndexStats(
+            builds=self.builds + other.builds,
+            queries=self.queries + other.queries,
+            postings_visited=self.postings_visited + other.postings_visited,
+            candidates_pruned=self.candidates_pruned + other.candidates_pruned,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain dictionary view (``index_``-prefixed) for reports and rows."""
+        return {
+            "index_builds": self.builds,
+            "index_queries": self.queries,
+            "index_postings_visited": self.postings_visited,
+            "index_candidates_pruned": self.candidates_pruned,
+        }
+
+
+class SourceTokenIndex:
+    """Inverted blocking-token index over one :class:`DataSource`.
+
+    Records are held in ``record_id`` order — the canonical order every scan
+    ranking uses for tie-breaks and shuffles — and each posting list stores
+    positions into that order.  The index rebuilds itself when the source's
+    ``data_version`` moves, so one long-lived index per source serves every
+    pair of a sweep.
+
+    Thread-safety matches the library's other caches: concurrent readers may
+    duplicate a deterministic rebuild but never corrupt state.
+    """
+
+    def __init__(self, source: DataSource, min_token_length: int) -> None:
+        self.source = source
+        self.min_token_length = min_token_length
+        self.builds = 0
+        self.queries = 0
+        self.postings_visited = 0
+        self.candidates_pruned = 0
+        self._built_version: int | None = None
+        self._records: list[Record] = []
+        self._ids: list[str] = []
+        self._token_sets: list[frozenset[str]] = []
+        self._postings: dict[str, list[int]] = {}
+
+    @property
+    def stats(self) -> IndexStats:
+        """Immutable snapshot of the counters."""
+        return IndexStats(
+            builds=self.builds,
+            queries=self.queries,
+            postings_visited=self.postings_visited,
+            candidates_pruned=self.candidates_pruned,
+        )
+
+    # ------------------------------------------------------------------ build
+
+    def _build(self) -> None:
+        records = sorted(self.source.records, key=lambda record: record.record_id)
+        token_sets = [
+            interned_blocking_tokens(record, self.min_token_length) for record in records
+        ]
+        postings: dict[str, list[int]] = {}
+        for position, tokens in enumerate(token_sets):
+            for token in tokens:
+                postings.setdefault(token, []).append(position)
+        self._records = records
+        self._ids = [record.record_id for record in records]
+        self._token_sets = token_sets
+        self._postings = postings
+        self._built_version = self.source.data_version
+        self.builds += 1
+
+    def ensure_fresh(self) -> None:
+        """Rebuild when the source mutated since the last build (lazy, cheap check)."""
+        if self._built_version != self.source.data_version:
+            self._build()
+
+    # ---------------------------------------------------------------- reading
+
+    def records_by_id(self) -> Sequence[Record]:
+        """All source records in ``record_id`` order (read-only view).
+
+        This is the canonical candidate enumeration the shuffled (non-match)
+        ranking path consumes, so it counts as a query; it visits no postings.
+        """
+        self.ensure_fresh()
+        self.queries += 1
+        return self._records
+
+    def token_set(self, record_id: str) -> frozenset[str]:
+        """The interned blocking-token set of an index record."""
+        self.ensure_fresh()
+        position = self._position(record_id)
+        return self._token_sets[position]
+
+    def query_tokens(self, query: Record) -> frozenset[str]:
+        """The interned blocking-token set of an arbitrary (query) record."""
+        return interned_blocking_tokens(query, self.min_token_length)
+
+    def posting_items(self) -> Iterator[tuple[str, list[str]]]:
+        """Yield ``(token, record_ids)`` for every indexed token (one traversal).
+
+        Counted as one query; postings visited covers every id yielded.
+        """
+        self.ensure_fresh()
+        self.queries += 1
+        for token, positions in self._postings.items():
+            self.postings_visited += len(positions)
+            yield token, [self._ids[position] for position in positions]
+
+    def document_frequency(self, token: str) -> int:
+        """Number of records containing ``token``."""
+        self.ensure_fresh()
+        return len(self._postings.get(token, ()))
+
+    def _position(self, record_id: str) -> int:
+        position = bisect.bisect_left(self._ids, record_id)
+        if position == len(self._ids) or self._ids[position] != record_id:
+            raise KeyError(f"record id {record_id!r} not in index over {self.source.name!r}")
+        return position
+
+    # ------------------------------------------------------------------ top-k
+
+    def top_k(
+        self,
+        query: Record,
+        k: int | None = None,
+        exclude_ids: Iterable[str] = (),
+    ) -> list[Record]:
+        """The exact top-``k`` records by Jaccard overlap with ``query``.
+
+        Ordering is identical to the scan reference
+        (:func:`repro.data.blocking.top_k_neighbours` with ``indexed=False``):
+        descending Jaccard over blocking tokens, ties broken by ``record_id``,
+        zero-overlap records filling remaining slots in id order.  ``k=None``
+        ranks the whole source.
+
+        Traversal is df-weighted: query tokens are processed rarest first, so
+        low-selectivity tokens (the ones blocking would call stop words) are
+        only walked when cheaper tokens could not already settle the top-k.
+        After ``i`` of ``|Q|`` tokens, a record sharing none of the processed
+        tokens has Jaccard at most ``(|Q| - i) / |Q|``; once the k-th best
+        *exact* score strictly beats that bound, no unseen record can enter
+        the result and the remaining posting lists are skipped.
+        """
+        self.ensure_fresh()
+        self.queries += 1
+        excluded = set(exclude_ids)
+        query_set = self.query_tokens(query)
+        total = len(query_set)
+
+        eligible = len(self._records) - sum(1 for record_id in excluded if self._has(record_id))
+        wanted = eligible if k is None else min(k, eligible)
+        if wanted <= 0:
+            self.candidates_pruned += len(self._records)
+            return []
+
+        # Rarest tokens first; ties broken by token text for determinism.
+        ordered = sorted(
+            query_set, key=lambda token: (len(self._postings.get(token, ())), token)
+        )
+        scores: dict[int, float] = {}
+        heap: list[float] = []  # min-heap of the current top-`wanted` exact scores
+        for processed, token in enumerate(ordered):
+            if len(heap) >= wanted and heap[0] * total > (total - processed):
+                # The k-th best exact score strictly beats the best score any
+                # record outside `scores` can still reach: stop traversing.
+                break
+            for position in self._postings.get(token, ()):
+                self.postings_visited += 1
+                if position in scores:
+                    continue
+                if self._ids[position] in excluded:
+                    scores[position] = -1.0  # seen, but never ranked
+                    continue
+                score = token_jaccard(query_set, self._token_sets[position])
+                scores[position] = score
+                if len(heap) < wanted:
+                    heapq.heappush(heap, score)
+                elif score > heap[0]:
+                    heapq.heapreplace(heap, score)
+
+        ranked = sorted(
+            (
+                (-score, self._ids[position], position)
+                for position, score in scores.items()
+                if score >= 0.0
+            ),
+        )
+        result = [self._records[position] for _, __, position in ranked[:wanted]]
+
+        # Zero-overlap fill: the scan reference ranks every candidate, so
+        # records sharing no token still appear (score 0.0) in id order.
+        if len(result) < wanted:
+            for position, record_id in enumerate(self._ids):
+                if position in scores or record_id in excluded:
+                    continue
+                result.append(self._records[position])
+                scores[position] = 0.0
+                if len(result) >= wanted:
+                    break
+        self.candidates_pruned += len(self._records) - len(scores)
+        return result
+
+    def _has(self, record_id: str) -> bool:
+        try:
+            self._position(record_id)
+        except KeyError:
+            return False
+        return True
+
+
+def get_source_index(source: DataSource, min_token_length: int) -> SourceTokenIndex:
+    """The shared :class:`SourceTokenIndex` of ``source`` for ``min_token_length``.
+
+    One index per (source instance, min length) is cached on the source object
+    itself, so every caller in a sweep — triangle search, blocking, candidate
+    generation — shares builds and stats.  Staleness is handled inside the
+    index via the source's ``data_version``.
+    """
+    indexes: dict[int, SourceTokenIndex] | None = getattr(source, "_token_indexes", None)
+    if indexes is None:
+        indexes = {}
+        source._token_indexes = indexes  # type: ignore[attr-defined]
+    index = indexes.get(min_token_length)
+    if index is None:
+        index = SourceTokenIndex(source, min_token_length)
+        indexes[min_token_length] = index
+    return index

@@ -26,11 +26,23 @@ class DataSource:
 
     def __post_init__(self) -> None:
         self._by_id: dict[str, Record] = {}
+        self._data_version = 0
         for record in self.records:
             self._validate(record)
             self._by_id[record.record_id] = record
         if len(self._by_id) != len(self.records):
             raise DatasetError(f"duplicate record ids in data source {self.name!r}")
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter bumped on every mutation through :meth:`add`.
+
+        Derived structures (e.g. the inverted token index of
+        :mod:`repro.data.indexing`) compare this against the version they were
+        built at to decide whether they are stale.  Mutating ``records``
+        directly bypasses the counter; all library code goes through ``add``.
+        """
+        return self._data_version
 
     def _validate(self, record: Record) -> None:
         if tuple(record.attribute_names()) != self.schema.attributes:
@@ -46,6 +58,7 @@ class DataSource:
             raise DatasetError(f"duplicate record id {record.record_id!r} in {self.name!r}")
         self.records.append(record)
         self._by_id[record.record_id] = record
+        self._data_version += 1
 
     def get(self, record_id: str) -> Record:
         """Return the record with ``record_id`` or raise ``DatasetError``."""

@@ -39,6 +39,7 @@ from repro.certa.lattice import monotonicity_violations
 from repro.certa.perturbation import perturbed_pair
 from repro.certa.triangles import find_open_triangles
 from repro.data.dataset import ERDataset
+from repro.data.indexing import IndexStats
 from repro.data.records import RecordPair
 from repro.data.registry import BENCHMARK_CODES, load_benchmark
 from repro.eval.counterfactual_metrics import average_metrics
@@ -87,6 +88,9 @@ class HarnessConfig:
     fast_models: bool = True
     seed: int = 7
     batch_size: int = 256
+    #: Route candidate generation through the per-source token indexes
+    #: (``False`` keeps the full-scan reference path for A/B runs).
+    indexed: bool = True
 
     def with_overrides(self, **overrides) -> "HarnessConfig":
         """Return a copy with some fields replaced."""
@@ -160,6 +164,7 @@ class ExperimentHarness:
             "num_triangles": self.config.num_triangles,
             "seed": self.config.seed,
             "batch_size": self.config.batch_size,
+            "indexed": self.config.indexed,
         }
         parameters.update(overrides)
         return CertaExplainer(model, dataset.left, dataset.right, **parameters)
@@ -688,9 +693,12 @@ def _run_prediction_engine_unit(harness: ExperimentHarness, unit: WorkUnit) -> t
             for key in engine_totals:
                 engine_totals[key] += getattr(explanation.engine_stats, key)
     featurizer_totals = FeaturizerStats()
+    index_totals = IndexStats()
     for explanation in batched_runs:
         if explanation.featurizer_stats is not None:
             featurizer_totals = featurizer_totals + explanation.featurizer_stats
+        if explanation.index_stats is not None:
+            index_totals = index_totals + explanation.index_stats
     identical = len(batched_runs) == len(sequential_runs) and all(
         batched_one.saliency.scores == sequential_one.saliency.scores
         and batched_one.counterfactual.attribute_set == sequential_one.counterfactual.attribute_set
@@ -708,6 +716,7 @@ def _run_prediction_engine_unit(harness: ExperimentHarness, unit: WorkUnit) -> t
         "call_reduction": (nodes / lattice_batches) if lattice_batches else 0.0,
         **engine_totals,
         **featurizer_totals.as_dict(),
+        **index_totals.as_dict(),
         "batched_seconds": batched_seconds,
         "sequential_seconds": sequential_seconds,
         "speedup": (sequential_seconds / batched_seconds) if batched_seconds else 0.0,
@@ -771,18 +780,23 @@ def _run_augmentation_supply_unit(harness: ExperimentHarness, unit: WorkUnit) ->
     model = harness.trained(unit.model, unit.dataset).model
     pairs = harness.sample_pairs(unit.dataset, count=int(unit.param("pairs_per_dataset", 3)))
     counts = []
+    index_totals = IndexStats()
     for pair in pairs:
         search = find_open_triangles(
             model, pair, dataset.left, dataset.right,
             count=target, seed=harness.config.seed,
             allow_augmentation=False, max_candidates=None,
+            indexed=harness.config.indexed,
         )
         counts.append(len(search.triangles))
+        if search.index_stats is not None:
+            index_totals = index_totals + search.index_stats
     row = {
         "dataset": unit.dataset,
         "model": unit.model,
         "target": target,
         "mean_triangles": float(np.mean(counts)) if counts else 0.0,
+        **index_totals.as_dict(),
         "skipped": 0,
     }
     return [row], 0

@@ -5,12 +5,17 @@ from __future__ import annotations
 import pytest
 
 from repro.data.blocking import (
+    DEFAULT_BLOCKING_TOKEN_LENGTH,
+    BlockingResult,
     candidate_pairs,
     overlap_score,
     record_blocking_tokens,
     token_blocking,
     top_k_neighbours,
 )
+from repro.data.table import DataSource
+
+from tests.helpers import LEFT_SCHEMA, make_record
 
 
 class TestTokenBlocking:
@@ -33,6 +38,58 @@ class TestTokenBlocking:
         left, right = sources
         result = token_blocking(left, right)
         assert list(result.pairs) == sorted(set(result.pairs))
+
+    def test_reduction_ratio_is_one_for_empty_sources(self):
+        """An empty cartesian product is total pruning, not 'no pruning'.
+
+        Regression: the degenerate case used to report 0.0, making an empty
+        candidate set look like blocking had removed nothing at all.
+        """
+        assert BlockingResult(pairs=(), left_count=0, right_count=0).reduction_ratio == 1.0
+        assert BlockingResult(pairs=(), left_count=5, right_count=0).reduction_ratio == 1.0
+        empty = DataSource(name="empty", schema=LEFT_SCHEMA, records=[])
+        assert token_blocking(empty, empty).reduction_ratio == 1.0
+
+
+class TestBlockingKeyConsistency:
+    """Ranking and blocking must agree on what a blocking token is.
+
+    Regression: ``record_blocking_tokens`` (used by ``overlap_score`` ranking)
+    defaulted to tokens of length >= 2 while ``token_blocking`` required
+    length >= 3, so records sharing only a two-character token — 'tv', 'lg',
+    'hp' — ranked as similar yet never landed in a common block.
+    """
+
+    @pytest.fixture()
+    def short_token_sources(self):
+        left = DataSource(
+            name="short-left", schema=LEFT_SCHEMA,
+            records=[make_record("L0", "lg tv", "affordable flatscreen", "99")],
+        )
+        right = DataSource(
+            name="short-right", schema=LEFT_SCHEMA,
+            records=[make_record("R0", "tv stand", "wooden furniture", "49", source="V")],
+        )
+        return left, right
+
+    def test_two_character_tokens_block_and_rank_consistently(self, short_token_sources):
+        left, right = short_token_sources
+        score = overlap_score(left.get("L0"), right.get("R0"))
+        assert score > 0.0  # "tv" counts for the ranking...
+        result = token_blocking(left, right)
+        assert ("L0", "R0") in result.pairs  # ...so it must count for blocking too
+
+    def test_one_default_threaded_through_ranking_and_blocking(self, sources):
+        left, right = sources
+        record = left.get("L0")
+        default_tokens = record_blocking_tokens(record)
+        explicit_tokens = record_blocking_tokens(record, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        assert default_tokens == explicit_tokens
+        # A stricter notion threads through blocking, ranking and top-k alike.
+        strict = 5
+        blocking = token_blocking(left, right, min_token_length=strict, indexed=False)
+        for left_id, right_id in blocking.pairs:
+            assert overlap_score(left.get(left_id), right.get(right_id), strict) > 0.0
 
 
 class TestOverlap:
@@ -66,6 +123,43 @@ class TestTopKNeighbours:
     def test_k_limits_result_size(self, sources):
         left, right = sources
         assert len(top_k_neighbours(left.get("L0"), right.records, k=2)) == 2
+
+    def test_k_none_ranks_every_candidate(self, sources):
+        left, right = sources
+        ranked = top_k_neighbours(left.get("L0"), right, k=None)
+        assert len(ranked) == len(right)
+
+    def test_datasource_and_iterable_agree(self, sources):
+        """The indexed DataSource dispatch returns exactly the scan ranking."""
+        left, right = sources
+        for query in left:
+            indexed = top_k_neighbours(query, right, k=4)
+            scanned = top_k_neighbours(query, list(right), k=4)
+            assert [r.record_id for r in indexed] == [r.record_id for r in scanned]
+
+    def test_ordering_shared_with_triangle_ranking(self, sources, match_pair):
+        """Triangle search and top_k_neighbours use one candidate ordering.
+
+        Regression: ``top_k_neighbours`` had drifted out of use and its
+        exclude/ordering semantics were no longer checked against
+        ``_ranked_candidates``; the triangle search now *is* a
+        ``top_k_neighbours`` call, pinned here.
+        """
+        import random
+
+        from repro.certa.triangles import _ranked_candidates
+
+        left, _ = sources
+        pivot, free = match_pair.right, match_pair.left
+        for indexed in (True, False):
+            ranked = _ranked_candidates(
+                left, pivot, free, want_match=True, rng=random.Random(0),
+                max_candidates=4, indexed=indexed,
+            )
+            neighbours = top_k_neighbours(
+                pivot, left, k=4, exclude_ids=(free.record_id,), indexed=indexed
+            )
+            assert [r.record_id for r in ranked] == [r.record_id for r in neighbours]
 
 
 class TestCandidatePairs:

@@ -6,11 +6,17 @@ import random
 
 import pytest
 
+import numpy as np
+
 from repro.certa.augmentation import augment_records, record_variants, value_token_drops
 from repro.certa.explainer import CertaExplainer
 from repro.certa.perturbation import perturb_record, perturbed_pair
 from repro.certa.tokens import token_saliency
-from repro.certa.triangles import _find_side_triangles, find_open_triangles
+from repro.certa.triangles import (
+    _find_side_triangles,
+    _support_content_key,
+    find_open_triangles,
+)
 from repro.data.records import RecordPair
 from repro.data.table import DataSource
 from repro.exceptions import ExplanationError, TriangleError
@@ -243,6 +249,118 @@ class TestTriangleSearch:
         # rescan of the not-yet-used remainder) and used supports are skipped,
         # so the accounting stays below the naive full-rescan ceiling.
         assert result.candidates_scored <= 2 * (len(left_records) - 1) + len(right_records) - 1
+
+
+class _OppositeToOriginalModel:
+    """Original pair predicts non-match; every other pair predicts match.
+
+    Stresses the augmentation path: with a starved right side every fabricated
+    left candidate qualifies as a support, so the compensation pass exercises
+    repeated ``augment_records`` calls over the same base records.
+    """
+
+    name = "opposite-to-original"
+
+    def __init__(self, original_ids: tuple[str, str]) -> None:
+        self.original_ids = original_ids
+
+    def predict_proba(self, pairs) -> np.ndarray:
+        return np.array(
+            [
+                0.2 if (pair.left.record_id, pair.right.record_id) == self.original_ids else 0.9
+                for pair in pairs
+            ],
+            dtype=np.float64,
+        )
+
+    def predict_pair(self, pair) -> float:
+        return float(self.predict_proba([pair])[0])
+
+    def predict_match(self, pair) -> bool:
+        return self.predict_pair(pair) > 0.5
+
+
+class TestCompensationPass:
+    """The top-up pass: side balance, exclusions, accounting, content dedupe."""
+
+    @pytest.fixture()
+    def starved_right_setup(self):
+        """A pair whose right source holds only the pivot partner.
+
+        The right side can supply no support at all (no candidates, no
+        augmentation bases), so the left side must compensate for the whole
+        ``count``; the tiny two-token attribute values keep the augmentation
+        variant space small enough that re-fabrication collisions are certain.
+        """
+        free = make_record("L0", "sony tv", "big sony tv", "10")
+        base_records = [
+            make_record("L1", "alpha beta", "gamma delta", "11"),
+            make_record("L2", "epsilon zeta", "eta theta", "12"),
+        ]
+        left = DataSource(name="starved-left", schema=LEFT_SCHEMA, records=[free] + base_records)
+        pivot = make_record("R0", "sony tv set", "big sony tv set", "10", source="V")
+        right = DataSource(name="starved-right", schema=LEFT_SCHEMA, records=[pivot])
+        pair = RecordPair(free, pivot, True)
+        return _OppositeToOriginalModel(("L0", "R0")), pair, left, right
+
+    @pytest.mark.parametrize("seed", [0, 2, 4, 5])
+    def test_compensation_never_duplicates_support_content(self, starved_right_setup, seed):
+        """Regression: the top-up excluded used support *ids* only, and a
+        re-run of ``augment_records`` over the same base records fabricates
+        variants with identical content under fresh ids — every tested seed
+        produced between one and four content-duplicate supports before the
+        content-key dedupe."""
+        model, pair, left, right = starved_right_setup
+        result = find_open_triangles(
+            model, pair, left, right, count=8, seed=seed, force_augmentation=True
+        )
+        keys = [(t.side, _support_content_key(t.support)) for t in result.triangles]
+        assert len(keys) == len(set(keys))
+        assert len(result.triangles) == 8  # dedupe fills the quota with fresh variants
+
+    def test_compensation_comes_from_the_left_side(self, starved_right_setup):
+        model, pair, left, right = starved_right_setup
+        result = find_open_triangles(
+            model, pair, left, right, count=8, seed=0, force_augmentation=True
+        )
+        assert len(result.by_side("left")) == 8
+        assert result.by_side("right") == []
+        assert result.augmented_count == 8
+        assert result.natural_count == 0
+
+    def test_even_count_splits_half_and_half(self, similarity_model, sources, match_pair):
+        left, right = sources
+        result = find_open_triangles(similarity_model, match_pair, left, right, count=6, seed=0)
+        assert len(result.by_side("left")) == 3
+        assert len(result.by_side("right")) == 3
+
+    def test_odd_count_gives_right_side_the_remainder(self, similarity_model, sources, match_pair):
+        """``count // 2`` go left; the right side is asked for the rest."""
+        left, right = sources
+        result = find_open_triangles(similarity_model, match_pair, left, right, count=7, seed=0)
+        assert len(result.by_side("left")) == 3
+        assert len(result.by_side("right")) == 4
+        assert len(result.triangles) == 7
+
+    def test_count_one_is_all_right_side(self, similarity_model, sources, match_pair):
+        left, right = sources
+        result = find_open_triangles(similarity_model, match_pair, left, right, count=1, seed=0)
+        assert len(result.triangles) == 1
+        assert result.by_side("left") == []
+
+    def test_compensation_honours_exclusions_and_accounting(self, starved_right_setup):
+        """Scored/augmented counters cover the top-up pass, and the top-up
+        never re-uses a first-pass support id."""
+        model, pair, left, right = starved_right_setup
+        result = find_open_triangles(
+            model, pair, left, right, count=8, seed=1, force_augmentation=True
+        )
+        support_ids = [t.support.record_id for t in result.triangles]
+        assert len(support_ids) == len(set(support_ids))
+        assert result.augmented_count == sum(1 for t in result.triangles if t.augmented)
+        # Every accepted support was scored, and the scored counter also saw
+        # the rejected / duplicate candidates the passes consumed.
+        assert result.candidates_scored >= len(result.triangles)
 
 
 class TestCertaExplainer:

@@ -1,0 +1,313 @@
+"""Equivalence and unit tests for the source token index (repro.data.indexing).
+
+The contract under test: every indexed path — top-k similarity ranking, token
+blocking, candidate-pair generation and open-triangle discovery — returns
+*identical* results to the full-scan reference it replaces, while building
+each source's index once and reusing it across queries.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.certa.explainer import CertaExplainer
+from repro.certa.triangles import find_open_triangles
+from repro.data.blocking import (
+    DEFAULT_BLOCKING_TOKEN_LENGTH,
+    candidate_pairs,
+    record_blocking_tokens,
+    token_blocking,
+    top_k_neighbours,
+)
+from repro.data.indexing import (
+    IndexStats,
+    SourceTokenIndex,
+    get_source_index,
+    interned_blocking_tokens,
+)
+from repro.data.table import DataSource
+
+from tests.helpers import LEFT_SCHEMA, SimilarityModel, make_record
+
+
+class TestInternedTokens:
+    def test_matches_record_blocking_tokens(self, sources):
+        left, _ = sources
+        for record in left:
+            for min_length in (2, 3, 5):
+                assert interned_blocking_tokens(record, min_length) == frozenset(
+                    record_blocking_tokens(record, min_length)
+                )
+
+    def test_same_content_shares_one_entry(self, sources):
+        """Perturbed copies with identical content intern to the same object."""
+        left, _ = sources
+        record = left.get("L0")
+        copy = record.replace_values({}, suffix="+copy")
+        first = interned_blocking_tokens(record, 2)
+        second = interned_blocking_tokens(copy, 2)
+        assert first is second
+
+
+class TestIndexStats:
+    def test_subtraction_gives_delta(self):
+        later = IndexStats(builds=3, queries=10, postings_visited=100, candidates_pruned=40)
+        earlier = IndexStats(builds=1, queries=4, postings_visited=30, candidates_pruned=10)
+        delta = later - earlier
+        assert delta == IndexStats(builds=2, queries=6, postings_visited=70, candidates_pruned=30)
+
+    def test_addition_aggregates(self):
+        total = IndexStats(builds=1, queries=2) + IndexStats(queries=3, postings_visited=5)
+        assert total == IndexStats(builds=1, queries=5, postings_visited=5)
+
+    def test_as_dict_is_prefixed(self):
+        stats = IndexStats(builds=1, queries=2, postings_visited=3, candidates_pruned=4)
+        assert stats.as_dict() == {
+            "index_builds": 1,
+            "index_queries": 2,
+            "index_postings_visited": 3,
+            "index_candidates_pruned": 4,
+        }
+
+
+def _scan_ranking(query, source, k, exclude_ids=(), min_token_length=DEFAULT_BLOCKING_TOKEN_LENGTH):
+    return top_k_neighbours(
+        query, list(source), k=k, exclude_ids=exclude_ids,
+        min_token_length=min_token_length, indexed=False,
+    )
+
+
+class TestTopKEquivalence:
+    @pytest.mark.parametrize("k", [1, 2, 4, 10, None])
+    def test_identical_to_scan_on_toy_sources(self, sources, k):
+        left, right = sources
+        for query in list(left) + list(right):
+            indexed = top_k_neighbours(query, left, k=k, indexed=True)
+            scanned = _scan_ranking(query, left, k)
+            assert [r.record_id for r in indexed] == [r.record_id for r in scanned]
+
+    @pytest.mark.parametrize("min_length", [2, 3, 5])
+    def test_identical_across_min_token_lengths(self, sources, min_length):
+        left, right = sources
+        for query in right:
+            indexed = top_k_neighbours(
+                query, left, k=None, min_token_length=min_length, indexed=True
+            )
+            scanned = _scan_ranking(query, left, None, min_token_length=min_length)
+            assert [r.record_id for r in indexed] == [r.record_id for r in scanned]
+
+    def test_identical_on_benchmark_source(self, benchmark_dataset):
+        left, right = benchmark_dataset.left, benchmark_dataset.right
+        rng = random.Random(5)
+        for query in rng.sample(list(right), 6):
+            for k in (3, 25, None):
+                indexed = top_k_neighbours(query, left, k=k, indexed=True)
+                scanned = _scan_ranking(query, left, k)
+                assert [r.record_id for r in indexed] == [r.record_id for r in scanned]
+
+    def test_exclusions_are_respected(self, sources):
+        left, right = sources
+        query = right.get("R0")
+        excluded = ("L0", "L3")
+        indexed = top_k_neighbours(query, left, k=None, exclude_ids=excluded, indexed=True)
+        scanned = _scan_ranking(query, left, None, exclude_ids=excluded)
+        assert [r.record_id for r in indexed] == [r.record_id for r in scanned]
+        assert all(record.record_id not in excluded for record in indexed)
+
+    def test_zero_overlap_records_fill_in_id_order(self, sources):
+        """The scan ranks every candidate, so zero-score records must appear too."""
+        left, _ = sources
+        query = make_record("Q", "zzzz qqqq", "xxxx wwww", "0.17", source="V")
+        indexed = top_k_neighbours(query, left, k=None, indexed=True)
+        assert [r.record_id for r in indexed] == sorted(left.ids())
+
+    def test_empty_token_query_ranks_all_by_id(self, sources):
+        left, _ = sources
+        query = make_record("Q", "", "", "", source="V")
+        indexed = top_k_neighbours(query, left, k=3, indexed=True)
+        scanned = _scan_ranking(query, left, 3)
+        assert [r.record_id for r in indexed] == [r.record_id for r in scanned]
+        assert [r.record_id for r in indexed] == sorted(left.ids())[:3]
+
+
+class TestIndexLifecycle:
+    def test_built_once_and_shared_across_queries(self, sources):
+        left, right = sources
+        index = get_source_index(left, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        for query in right:
+            index.top_k(query, k=3)
+        assert index.builds == 1
+        assert index.queries == len(right)
+
+    def test_get_source_index_returns_the_same_instance(self, sources):
+        left, _ = sources
+        assert get_source_index(left, 2) is get_source_index(left, 2)
+        assert get_source_index(left, 2) is not get_source_index(left, 3)
+
+    def test_mutation_triggers_exactly_one_rebuild(self, sources):
+        left, right = sources
+        index = get_source_index(left, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        query = right.get("R0")
+        index.top_k(query, k=2)
+        assert index.builds == 1
+        newcomer = make_record("L9", "sony bravia theater system", "sony bravia home theater", "201.0")
+        left.add(newcomer)
+        first = index.top_k(query, k=2)
+        second = index.top_k(query, k=2)
+        assert index.builds == 2  # one rebuild serves all post-mutation queries
+        assert "L9" in {record.record_id for record in first}
+        assert [r.record_id for r in first] == [r.record_id for r in second]
+
+    def test_stale_index_matches_fresh_scan(self, sources):
+        """After a mutation, the indexed ranking equals a scan of the new state."""
+        left, right = sources
+        top_k_neighbours(right.get("R0"), left, k=None, indexed=True)  # build pre-mutation
+        left.add(make_record("L8", "canon powershot camera pro", "canon digital camera", "339.0"))
+        for query in right:
+            indexed = top_k_neighbours(query, left, k=None, indexed=True)
+            scanned = _scan_ranking(query, left, None)
+            assert [r.record_id for r in indexed] == [r.record_id for r in scanned]
+
+    def test_pruning_counters_move_on_selective_queries(self, benchmark_dataset):
+        left = benchmark_dataset.left
+        index = SourceTokenIndex(left, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        query = benchmark_dataset.right.records[0]
+        result = index.top_k(query, k=5)
+        assert len(result) == 5
+        assert index.postings_visited > 0
+        assert index.candidates_pruned > 0  # top-5 never materialises the whole source
+        assert index.stats.as_dict()["index_queries"] == 1
+
+
+class TestBlockingEquivalence:
+    @pytest.mark.parametrize("min_length", [2, 3, 50])
+    def test_token_blocking_matches_scan(self, sources, min_length):
+        left, right = sources
+        indexed = token_blocking(left, right, min_token_length=min_length, indexed=True)
+        scanned = token_blocking(left, right, min_token_length=min_length, indexed=False)
+        assert indexed.pairs == scanned.pairs
+        assert indexed.reduction_ratio == scanned.reduction_ratio
+
+    @pytest.mark.parametrize("max_block_size", [1, 3, 200])
+    def test_block_size_cap_matches_scan(self, benchmark_dataset, max_block_size):
+        left, right = benchmark_dataset.left, benchmark_dataset.right
+        indexed = token_blocking(left, right, max_block_size=max_block_size, indexed=True)
+        scanned = token_blocking(left, right, max_block_size=max_block_size, indexed=False)
+        assert indexed.pairs == scanned.pairs
+
+    def test_candidate_pairs_match_scan(self, benchmark_dataset):
+        left, right = benchmark_dataset.left, benchmark_dataset.right
+        matches = [
+            (pair.left.record_id, pair.right.record_id)
+            for pair in benchmark_dataset.train.pairs
+            if pair.label
+        ][:15]
+        indexed = candidate_pairs(left, right, matches, indexed=True)
+        scanned = candidate_pairs(left, right, matches, indexed=False)
+        assert [(pair.pair_id, pair.label) for pair in indexed] == [
+            (pair.pair_id, pair.label) for pair in scanned
+        ]
+
+
+def _triangle_fingerprint(result):
+    return (
+        [(t.side, t.support.record_id, t.augmented) for t in result.triangles],
+        result.requested,
+        result.candidates_scored,
+        result.augmented_count,
+    )
+
+
+class TestTriangleEquivalence:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    @pytest.mark.parametrize("count", [4, 7, 20])
+    def test_indexed_search_identical_to_scan(
+        self, similarity_model, sources, labelled_pairs, seed, count
+    ):
+        left, right = sources
+        for pair in labelled_pairs[:3] + labelled_pairs[-2:]:
+            indexed = find_open_triangles(
+                similarity_model, pair, left, right, count=count, seed=seed, indexed=True
+            )
+            scanned = find_open_triangles(
+                similarity_model, pair, left, right, count=count, seed=seed, indexed=False
+            )
+            assert _triangle_fingerprint(indexed) == _triangle_fingerprint(scanned)
+
+    def test_equivalence_under_forced_augmentation(self, similarity_model, sources, match_pair):
+        left, right = sources
+        indexed = find_open_triangles(
+            similarity_model, match_pair, left, right, count=6, seed=2,
+            force_augmentation=True, indexed=True,
+        )
+        scanned = find_open_triangles(
+            similarity_model, match_pair, left, right, count=6, seed=2,
+            force_augmentation=True, indexed=False,
+        )
+        assert _triangle_fingerprint(indexed) == _triangle_fingerprint(scanned)
+
+    def test_equivalence_without_augmentation(self, similarity_model, sources, non_match_pair):
+        left, right = sources
+        indexed = find_open_triangles(
+            similarity_model, non_match_pair, left, right, count=12, seed=0,
+            allow_augmentation=False, max_candidates=4, indexed=True,
+        )
+        scanned = find_open_triangles(
+            similarity_model, non_match_pair, left, right, count=12, seed=0,
+            allow_augmentation=False, max_candidates=4, indexed=False,
+        )
+        assert _triangle_fingerprint(indexed) == _triangle_fingerprint(scanned)
+
+    def test_equivalence_on_benchmark_dataset(self, benchmark_dataset):
+        model = SimilarityModel()
+        left, right = benchmark_dataset.left, benchmark_dataset.right
+        for pair in benchmark_dataset.test.pairs[:4]:
+            indexed = find_open_triangles(model, pair, left, right, count=20, seed=1, indexed=True)
+            scanned = find_open_triangles(model, pair, left, right, count=20, seed=1, indexed=False)
+            assert _triangle_fingerprint(indexed) == _triangle_fingerprint(scanned)
+
+    def test_index_stats_reported_only_when_indexed(self, similarity_model, sources, match_pair):
+        left, right = sources
+        indexed = find_open_triangles(
+            similarity_model, match_pair, left, right, count=6, seed=0, indexed=True
+        )
+        scanned = find_open_triangles(
+            similarity_model, match_pair, left, right, count=6, seed=0, indexed=False
+        )
+        assert indexed.index_stats is not None
+        assert scanned.index_stats is None
+
+    def test_sweep_shares_one_build_per_source(self, similarity_model, sources, labelled_pairs):
+        """Across many explained pairs, each source's index is built once."""
+        left = DataSource(name=sources[0].name, schema=sources[0].schema, records=list(sources[0].records))
+        right = DataSource(name=sources[1].name, schema=sources[1].schema, records=list(sources[1].records))
+        pairs = [pair.__class__(left.get(pair.left.record_id), right.get(pair.right.record_id), pair.label)
+                 for pair in labelled_pairs]
+        total = IndexStats()
+        for pair in pairs:
+            result = find_open_triangles(similarity_model, pair, left, right, count=6, seed=0, indexed=True)
+            total = total + result.index_stats
+        assert total.builds <= 2  # at most one build per source for the whole sweep
+        assert total.queries >= 1
+
+
+class TestExplainerEquivalence:
+    def test_indexed_explainer_matches_scan_explainer(self, similarity_model, sources, labelled_pairs):
+        left, right = sources
+        indexed = CertaExplainer(
+            similarity_model, left, right, num_triangles=8, seed=0, indexed=True
+        )
+        scanned = CertaExplainer(
+            similarity_model, left, right, num_triangles=8, seed=0, indexed=False
+        )
+        for pair in (labelled_pairs[0], labelled_pairs[-2]):
+            first = indexed.explain_full(pair)
+            second = scanned.explain_full(pair)
+            assert first.saliency.scores == second.saliency.scores
+            assert first.counterfactual.attribute_set == second.counterfactual.attribute_set
+            assert first.flips == second.flips
+            assert first.triangles_used == second.triangles_used
+            assert first.index_stats is not None
+            assert second.index_stats is None
