@@ -1,0 +1,505 @@
+"""Persistent dataset/index artifact store with content-hash invalidation.
+
+Every derived structure the library builds per process — the inverted token
+index of :mod:`repro.data.indexing`, the featurisation value caches of
+:mod:`repro.models.featurizer`, trained matcher weights — is a deterministic
+function of (source content, build parameters).  :class:`ArtifactStore`
+persists those structures to disk keyed by a **content hash** of exactly that
+input, so a fresh process can warm-load instead of rebuilding: a resumed sweep
+skips every index build, featurisation pass and training run it can *prove*
+safe, and pays a rebuild the moment the underlying data (or the artifact
+schema) changes.
+
+Invalidation rules, in decreasing order of authority:
+
+1. :data:`ARTIFACT_SCHEMA_VERSION` — bumped whenever the on-disk layout or any
+   derivation algorithm (tokeniser, featurizer maths) changes.  A version-skewed
+   artifact never loads.
+2. The content hash baked into the artifact key *and* repeated inside the
+   payload.  Loaders recompute the hash from the live objects
+   (:meth:`repro.data.table.DataSource.content_hash`,
+   :func:`dataset_fingerprint`) and reject any mismatch, so mutated sources —
+   even ones mutated in place, bypassing ``data_version`` — can never be
+   served a stale artifact.
+3. Structural validation plus a derivation spot-check (loaders re-derive a
+   small sample and compare), catching corrupt-but-parseable payloads.
+
+A load that fails *any* check returns ``None`` — the caller rebuilds and
+re-saves, so corruption, truncation and version skew degrade to a cold start,
+never to silent reuse and never to an exception.  Saves are atomic
+(temp file + ``os.replace``) so a killed process cannot leave a partially
+written artifact behind.
+
+The store is configured explicitly (``DataSource.artifact_store``,
+``ModelCache(artifact_store=...)``, ``ExperimentHarness(artifact_store=...)``)
+or process-wide through the ``REPRO_ARTIFACT_DIR`` environment variable
+(:func:`default_store`), which the sweep runner's worker processes inherit —
+the per-worker warm start that makes resumed multi-process sweeps cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports (no cycle at runtime)
+    from repro.data.dataset import ERDataset
+
+#: Bump to invalidate every artifact on disk (layout or derivation change).
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: Environment variable naming the process-wide artifact directory.
+ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
+
+
+@dataclass(frozen=True)
+class ArtifactStoreStats:
+    """Counters of one :class:`ArtifactStore` (immutable snapshot semantics).
+
+    ``*_loads`` count artifacts served from disk, ``*_saves`` artifacts
+    written after a fresh build, and ``*_misses`` load attempts that found
+    nothing usable (absent, version-skewed, corrupt or content-mismatched) —
+    every miss is followed by a rebuild, so ``index_saves == 0`` over a
+    process proves the process rebuilt no index at all.
+    """
+
+    index_loads: int = 0
+    index_saves: int = 0
+    index_misses: int = 0
+    featurizer_loads: int = 0
+    featurizer_saves: int = 0
+    featurizer_misses: int = 0
+    model_loads: int = 0
+    model_saves: int = 0
+    model_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain dictionary view for reports, manifests and smoke tests."""
+        return {
+            "index_loads": self.index_loads,
+            "index_saves": self.index_saves,
+            "index_misses": self.index_misses,
+            "featurizer_loads": self.featurizer_loads,
+            "featurizer_saves": self.featurizer_saves,
+            "featurizer_misses": self.featurizer_misses,
+            "model_loads": self.model_loads,
+            "model_saves": self.model_saves,
+            "model_misses": self.model_misses,
+        }
+
+
+def write_atomic_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def write_atomic_npz(path: Path, arrays: Mapping[str, np.ndarray]) -> None:
+    """Write a ``.npz`` archive to ``path`` atomically (temp file + rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: Path) -> dict | None:
+    """Parse a JSON object from ``path``; ``None`` on any read/parse failure."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError, UnicodeDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def dataset_fingerprint(dataset: "ERDataset") -> str:
+    """Stable digest of everything a training run consumes from a dataset.
+
+    Covers both sources' content hashes plus the id/label structure of every
+    split, so a trained-model artifact is reused only when training would have
+    seen byte-identical inputs.  (Training is deterministic, which is what
+    makes weight reuse an equivalence rather than an approximation.)
+    """
+    payload = {
+        "name": dataset.name,
+        "left": dataset.left.content_hash(),
+        "right": dataset.right.content_hash(),
+        "splits": {
+            split.name: [
+                [pair.left.record_id, pair.right.record_id, bool(pair.label)]
+                for pair in split.pairs
+            ]
+            for split in (dataset.train, dataset.valid, dataset.test)
+        },
+    }
+    digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def fingerprint_digest(fingerprint: Mapping[str, object]) -> str:
+    """Short stable digest of a JSON-compatible fingerprint mapping."""
+    payload = json.dumps(fingerprint, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class ArtifactStore:
+    """Content-addressed persistence for indexes, featurizer caches and models.
+
+    One directory, three artifact families::
+
+        <dir>/indexes/index_<hash16>_len<L>.json      source token indexes
+        <dir>/featurizers/feat_<fp16>.npz             featurizer value caches
+        <dir>/models/<name>_<fast|full>_<fp16>/       trained matcher weights
+
+    Loads are tolerant (any failure ⇒ ``None`` ⇒ caller rebuilds); saves are
+    atomic and may legitimately raise ``OSError`` — a misconfigured artifact
+    directory should surface, not hide.  Counters are exposed as
+    :attr:`stats`.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.index_loads = 0
+        self.index_saves = 0
+        self.index_misses = 0
+        self.featurizer_loads = 0
+        self.featurizer_saves = 0
+        self.featurizer_misses = 0
+        self.model_loads = 0
+        self.model_saves = 0
+        self.model_misses = 0
+
+    @property
+    def stats(self) -> ArtifactStoreStats:
+        """Immutable snapshot of the load/save/miss counters."""
+        return ArtifactStoreStats(
+            index_loads=self.index_loads,
+            index_saves=self.index_saves,
+            index_misses=self.index_misses,
+            featurizer_loads=self.featurizer_loads,
+            featurizer_saves=self.featurizer_saves,
+            featurizer_misses=self.featurizer_misses,
+            model_loads=self.model_loads,
+            model_saves=self.model_saves,
+            model_misses=self.model_misses,
+        )
+
+    # ------------------------------------------------------------ source index
+
+    def index_path(self, content_hash: str, min_token_length: int) -> Path:
+        """On-disk location of the index artifact for one (source, length)."""
+        return self.directory / "indexes" / f"index_{content_hash[:16]}_len{min_token_length}.json"
+
+    def save_source_index(
+        self,
+        source_name: str,
+        content_hash: str,
+        min_token_length: int,
+        ids: Sequence[str],
+        token_sets: Sequence[Iterable[str]],
+        postings: Mapping[str, Sequence[int]],
+    ) -> Path:
+        """Persist one built :class:`~repro.data.indexing.SourceTokenIndex`.
+
+        ``ids`` contributes only the record count: the content hash in the
+        key (and payload) already commits to the exact id/value multiset, and
+        position-to-record alignment is deterministic (records sort by id),
+        so storing the id list would be redundant parse weight on the warm
+        path.
+
+        The payload avoids many-small-arrays JSON (whose parse cost rivals
+        re-tokenising): token sets are one newline-joined string of
+        space-joined sets, postings one flat position array with per-token
+        counts — both parse as single C-speed values, which is what makes a
+        warm load beat a build (see ``bench_artifact_store.py``).
+        """
+        token_lines = "\n".join(" ".join(sorted(tokens)) for tokens in token_sets)
+        posting_tokens = list(postings)
+        payload = {
+            "kind": "source_index",
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "source_name": source_name,
+            "content_hash": content_hash,
+            "min_token_length": min_token_length,
+            "record_count": len(ids),
+            "token_sets": token_lines,
+            "posting_tokens": "\n".join(posting_tokens),
+            "posting_counts": [len(postings[token]) for token in posting_tokens],
+            "posting_positions": [
+                position for token in posting_tokens for position in postings[token]
+            ],
+        }
+        path = self.index_path(content_hash, min_token_length)
+        write_atomic_text(path, json.dumps(payload))
+        self.index_saves += 1
+        return path
+
+    def load_source_index(
+        self, content_hash: str, min_token_length: int, expected_ids: Sequence[str]
+    ) -> dict | None:
+        """The saved index payload for (``content_hash``, ``min_token_length``).
+
+        Returns ``None`` — counting a miss — unless the artifact exists,
+        parses, carries the current schema version, repeats the expected
+        content hash and parameters, and is structurally consistent with the
+        live source.  The caller still spot-checks the derivation
+        (see ``SourceTokenIndex._build``).
+        """
+        payload = _read_json(self.index_path(content_hash, min_token_length))
+        decoded = self._decode_index_payload(payload, content_hash, min_token_length, len(expected_ids))
+        if decoded is None:
+            self.index_misses += 1
+            return None
+        self.index_loads += 1
+        return decoded
+
+    @staticmethod
+    def _decode_index_payload(
+        payload: dict | None,
+        content_hash: str,
+        min_token_length: int,
+        record_count: int,
+    ) -> dict | None:
+        """Validate and decode a stored index payload, or ``None``.
+
+        Returns ``{"token_sets": list[list[str]], "postings": dict[str,
+        list[int]]}``.  Validation is kept to C-speed passes (equality
+        checks, ``min``/``max`` bounds over the flat position array): the
+        record multiset is already committed to by the content hash, and
+        semantic drift (a changed tokeniser without a schema bump) is caught
+        by the caller's derivation spot-check.
+        """
+        if payload is None:
+            return None
+        if payload.get("kind") != "source_index":
+            return None
+        if payload.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+            return None
+        if payload.get("content_hash") != content_hash:
+            return None
+        if payload.get("min_token_length") != min_token_length:
+            return None
+        if payload.get("record_count") != record_count:
+            return None
+        token_lines = payload.get("token_sets")
+        posting_tokens = payload.get("posting_tokens")
+        posting_counts = payload.get("posting_counts")
+        posting_positions = payload.get("posting_positions")
+        if not isinstance(token_lines, str) or not isinstance(posting_tokens, str):
+            return None
+        if not isinstance(posting_counts, list) or not isinstance(posting_positions, list):
+            return None
+        lines = token_lines.split("\n") if (token_lines or record_count) else []
+        if len(lines) != record_count:
+            return None
+        tokens = posting_tokens.split("\n") if posting_tokens else []
+        try:
+            if len(tokens) != len(posting_counts) or sum(posting_counts) != len(posting_positions):
+                return None
+            if posting_positions and not (
+                0 <= min(posting_positions) <= max(posting_positions) < record_count
+            ):
+                return None
+        except TypeError:
+            return None
+        postings: dict[str, list[int]] = {}
+        offset = 0
+        for token, count in zip(tokens, posting_counts):
+            postings[token] = posting_positions[offset : offset + count]
+            offset += count
+        # ``token_lines`` stays unsplit: the caller materialises frozensets in
+        # a single pass, avoiding an intermediate list-of-lists.
+        return {"token_lines": lines, "postings": postings}
+
+    # ------------------------------------------------------- featurizer caches
+
+    def featurizer_path(self, fingerprint: Mapping[str, object]) -> Path:
+        """On-disk location of the cache archive for one featurizer config."""
+        return self.directory / "featurizers" / f"feat_{fingerprint_digest(fingerprint)}.npz"
+
+    def save_featurizer(self, featurizer) -> Path:
+        """Persist a featurizer's value/comparison caches (merge-on-save).
+
+        Entries already on disk under the same fingerprint are kept (each is
+        a pure function of its key, so union never changes values); the
+        current process's entries win on overlap.  The read-merge-write is
+        not locked across processes: two workers saving at the same instant
+        can drop the smaller of the two exports (last writer wins).  That
+        costs only recomputation — every entry is re-derivable on demand —
+        never correctness.  ``featurizer`` is any object with the
+        ``fingerprint()`` / ``export_state()`` / ``import_state()`` protocol
+        of :class:`~repro.models.featurizer.PairFeaturizer`.
+        """
+        fingerprint = featurizer.fingerprint()
+        state = featurizer.export_state()
+        existing = self._read_featurizer_payload(fingerprint)
+        if existing is not None:
+            state = _merge_featurizer_states(existing["state"], state)
+        manifest = {
+            "kind": "featurizer_cache",
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "keys": {name: block["keys"] for name, block in state.items()},
+        }
+        arrays = {
+            name: block["values"]
+            for name, block in state.items()
+            if isinstance(block["values"], np.ndarray)
+        }
+        arrays["manifest"] = np.array(json.dumps(manifest))
+        path = self.featurizer_path(fingerprint)
+        write_atomic_npz(path, arrays)
+        self.featurizer_saves += 1
+        return path
+
+    def warm_featurizer(self, featurizer) -> bool:
+        """Install the saved caches for ``featurizer``'s fingerprint, if any."""
+        payload = self._read_featurizer_payload(featurizer.fingerprint())
+        if payload is None:
+            self.featurizer_misses += 1
+            return False
+        featurizer.import_state(payload["state"])
+        self.featurizer_loads += 1
+        return True
+
+    def _read_featurizer_payload(self, fingerprint: Mapping[str, object]) -> dict | None:
+        path = self.featurizer_path(fingerprint)
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                manifest = json.loads(str(archive["manifest"][()]))
+                if not isinstance(manifest, dict):
+                    return None
+                if manifest.get("kind") != "featurizer_cache":
+                    return None
+                if manifest.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+                    return None
+                if manifest.get("fingerprint") != dict(fingerprint):
+                    return None
+                keys = manifest.get("keys")
+                if not isinstance(keys, dict):
+                    return None
+                state: dict[str, dict] = {}
+                for name, block_keys in keys.items():
+                    if not isinstance(block_keys, list) or name not in archive.files:
+                        return None
+                    values = archive[name]
+                    if len(values) != len(block_keys):
+                        return None
+                    state[name] = {"keys": block_keys, "values": values}
+        except (OSError, ValueError, KeyError, UnicodeDecodeError):
+            return None
+        return {"state": state}
+
+    # ---------------------------------------------------------- trained models
+
+    def model_dir(self, model_name: str, fast: bool, dataset_digest: str) -> Path:
+        """On-disk directory of one trained matcher artifact."""
+        mode = "fast" if fast else "full"
+        return self.directory / "models" / f"{model_name}_{mode}_{dataset_digest[:16]}"
+
+    def save_model_metadata(self, directory: Path, metadata: Mapping[str, object]) -> Path:
+        """Write a model artifact's ``trained.json`` sidecar (atomic)."""
+        payload = {
+            "kind": "trained_model",
+            "schema_version": ARTIFACT_SCHEMA_VERSION,
+            **metadata,
+        }
+        path = directory / "trained.json"
+        write_atomic_text(path, json.dumps(payload, sort_keys=True))
+        return path
+
+    def load_model_metadata(self, directory: Path, dataset_digest: str) -> dict | None:
+        """The ``trained.json`` sidecar, validated; ``None`` on any mismatch."""
+        payload = _read_json(directory / "trained.json")
+        if payload is None:
+            return None
+        if payload.get("kind") != "trained_model":
+            return None
+        if payload.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+            return None
+        if payload.get("dataset_fingerprint") != dataset_digest:
+            return None
+        return payload
+
+
+def _merge_featurizer_states(old: Mapping[str, dict], new: Mapping[str, dict]) -> dict[str, dict]:
+    """Union two exported featurizer states; ``new`` wins on key overlap."""
+    merged: dict[str, dict] = {}
+    for name in set(old) | set(new):
+        old_block = old.get(name)
+        new_block = new.get(name)
+        if old_block is None or not len(old_block["keys"]):
+            merged[name] = new_block if new_block is not None else old_block
+            continue
+        if new_block is None or not len(new_block["keys"]):
+            merged[name] = old_block
+            continue
+        old_values = np.asarray(old_block["values"])
+        new_values = np.asarray(new_block["values"])
+        if old_values.shape[1:] != new_values.shape[1:]:
+            merged[name] = new_block  # incompatible widths: keep the fresh state
+            continue
+        keys = list(new_block["keys"])
+        seen = {_state_key(key) for key in keys}
+        extra_positions = [
+            position
+            for position, key in enumerate(old_block["keys"])
+            if _state_key(key) not in seen
+        ]
+        values = new_values
+        if extra_positions:
+            keys = keys + [old_block["keys"][position] for position in extra_positions]
+            values = np.concatenate([new_values, old_values[extra_positions]])
+        merged[name] = {"keys": keys, "values": values}
+    return merged
+
+
+def _state_key(key: object) -> object:
+    """Hashable form of a state key (pair keys arrive as 2-element lists)."""
+    return tuple(key) if isinstance(key, list) else key
+
+
+# ------------------------------------------------------------- default store
+
+_DEFAULT_STORES: dict[str, ArtifactStore] = {}
+
+
+def default_store() -> ArtifactStore | None:
+    """The process-wide store named by ``REPRO_ARTIFACT_DIR`` (memoised per path).
+
+    Returns ``None`` when the variable is unset or empty — persistence is
+    strictly opt-in.  Memoising per path keeps one set of counters per
+    directory, so smoke tests can assert over everything the process loaded.
+    """
+    directory = os.environ.get(ARTIFACT_DIR_ENV, "").strip()
+    if not directory:
+        return None
+    store = _DEFAULT_STORES.get(directory)
+    if store is None:
+        store = ArtifactStore(directory)
+        _DEFAULT_STORES[directory] = store
+    return store

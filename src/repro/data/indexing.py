@@ -26,11 +26,19 @@ it.  On top of that it answers:
 
 Indexes are built lazily, cached on the :class:`~repro.data.table.DataSource`
 instance per ``min_token_length`` (:func:`get_source_index`), and invalidated
-by generation: each build records ``source.data_version`` and a stale index
-transparently rebuilds on next use.  :class:`IndexStats` counts builds,
-queries, postings visited and candidates pruned; the counters surface through
-``TriangleSearchResult.index_stats``, ``CertaExplanation.index_stats`` and the
-eval-harness rows.
+by **content**: each build records the source's
+:meth:`~repro.data.table.DataSource.content_hash`, and any change to the
+records — through the mutation API *or* by replacing entries of
+``source.records`` in place — makes the next query rebuild transparently.
+(``data_version`` remains a cheap fast-path hint; the hash is the authority.)
+Builds consult the source's :class:`~repro.data.artifacts.ArtifactStore`
+(explicitly attached or the process-wide ``REPRO_ARTIFACT_DIR`` store): a
+persisted index whose content hash matches is **warm-loaded** instead of
+rebuilt and counted under ``loads``, never ``builds``, so benchmark rows
+distinguish genuine rebuilds from warm starts.  :class:`IndexStats` counts
+builds, loads, queries, postings visited and candidates pruned; the counters
+surface through ``TriangleSearchResult.index_stats``,
+``CertaExplanation.index_stats`` and the eval-harness rows.
 
 Every artifact is derived by the same public functions the scan path calls
 (:func:`repro.data.blocking.record_blocking_tokens` semantics via
@@ -44,9 +52,11 @@ from __future__ import annotations
 
 import bisect
 import heapq
+import operator
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
+from repro.data.artifacts import ArtifactStore, default_store
 from repro.data.blocking import token_jaccard
 from repro.data.records import Record
 from repro.data.table import DataSource
@@ -80,7 +90,13 @@ class IndexStats:
     """Counters of one (or a sum of) :class:`SourceTokenIndex` (snapshot semantics).
 
     ``builds``
-        Full index (re)builds, including generation-triggered rebuilds.
+        Full index (re)builds, including content-triggered rebuilds.  Warm
+        starts served from a persisted artifact are *not* builds — they are
+        counted under ``loads``, so rows reporting both never misreport a
+        warm start as a rebuild.
+    ``loads``
+        Index installs served from an :class:`~repro.data.artifacts.
+        ArtifactStore` instead of being rebuilt.
     ``queries``
         Top-k queries plus whole-index traversals (one per blocking pass).
     ``postings_visited``
@@ -92,6 +108,7 @@ class IndexStats:
     """
 
     builds: int = 0
+    loads: int = 0
     queries: int = 0
     postings_visited: int = 0
     candidates_pruned: int = 0
@@ -100,6 +117,7 @@ class IndexStats:
         """Counter delta between two snapshots."""
         return IndexStats(
             builds=self.builds - other.builds,
+            loads=self.loads - other.loads,
             queries=self.queries - other.queries,
             postings_visited=self.postings_visited - other.postings_visited,
             candidates_pruned=self.candidates_pruned - other.candidates_pruned,
@@ -109,6 +127,7 @@ class IndexStats:
         """Counter sum, for aggregating across indexes or explanations."""
         return IndexStats(
             builds=self.builds + other.builds,
+            loads=self.loads + other.loads,
             queries=self.queries + other.queries,
             postings_visited=self.postings_visited + other.postings_visited,
             candidates_pruned=self.candidates_pruned + other.candidates_pruned,
@@ -118,6 +137,7 @@ class IndexStats:
         """Plain dictionary view (``index_``-prefixed) for reports and rows."""
         return {
             "index_builds": self.builds,
+            "index_loads": self.loads,
             "index_queries": self.queries,
             "index_postings_visited": self.postings_visited,
             "index_candidates_pruned": self.candidates_pruned,
@@ -141,10 +161,15 @@ class SourceTokenIndex:
         self.source = source
         self.min_token_length = min_token_length
         self.builds = 0
+        self.loads = 0
         self.queries = 0
         self.postings_visited = 0
         self.candidates_pruned = 0
-        self._built_version: int | None = None
+        self._built_hash: str | None = None
+        #: Shallow snapshot of ``source.records`` at validation time.  Holding
+        #: the references keeps the objects alive, so identity comparison
+        #: against the live list is a sound (and C-speed) freshness fast path.
+        self._snapshot: list[Record] | None = None
         self._records: list[Record] = []
         self._ids: list[str] = []
         self._token_sets: list[frozenset[str]] = []
@@ -155,6 +180,7 @@ class SourceTokenIndex:
         """Immutable snapshot of the counters."""
         return IndexStats(
             builds=self.builds,
+            loads=self.loads,
             queries=self.queries,
             postings_visited=self.postings_visited,
             candidates_pruned=self.candidates_pruned,
@@ -162,26 +188,143 @@ class SourceTokenIndex:
 
     # ------------------------------------------------------------------ build
 
-    def _build(self) -> None:
+    def _artifact_store(self) -> ArtifactStore | None:
+        """The persistence backend: the source's own store, else the env store."""
+        store = getattr(self.source, "artifact_store", None)
+        return store if store is not None else default_store()
+
+    def _build(self, content_hash: str) -> None:
+        """(Re)derive the index for the source's current content.
+
+        With an artifact store attached, a persisted index for this exact
+        content hash is warm-loaded (counted under ``loads``); otherwise the
+        token sets are derived from scratch (``builds``) and the result is
+        saved back so the *next* process starts warm.
+        """
         records = sorted(self.source.records, key=lambda record: record.record_id)
-        token_sets = [
-            interned_blocking_tokens(record, self.min_token_length) for record in records
-        ]
-        postings: dict[str, list[int]] = {}
-        for position, tokens in enumerate(token_sets):
-            for token in tokens:
-                postings.setdefault(token, []).append(position)
+        ids = [record.record_id for record in records]
+        store = self._artifact_store()
+        token_sets: list[frozenset[str]] | None = None
+        postings: dict[str, list[int]] | None = None
+        if store is not None:
+            payload = store.load_source_index(content_hash, self.min_token_length, ids)
+            if payload is not None:
+                token_sets = self._install_loaded_token_sets(records, payload["token_lines"])
+                if token_sets is not None:
+                    # The parsed payload is exclusively ours: adopt its posting
+                    # lists verbatim instead of re-deriving them from the sets.
+                    postings = payload["postings"]
+        loaded = token_sets is not None
+        if token_sets is None:
+            token_sets = [
+                interned_blocking_tokens(record, self.min_token_length) for record in records
+            ]
+        if postings is None:
+            postings = {}
+            for position, tokens in enumerate(token_sets):
+                for token in tokens:
+                    postings.setdefault(token, []).append(position)
         self._records = records
-        self._ids = [record.record_id for record in records]
+        self._ids = ids
         self._token_sets = token_sets
         self._postings = postings
-        self._built_version = self.source.data_version
-        self.builds += 1
+        self._built_hash = content_hash
+        if loaded:
+            self.loads += 1
+        else:
+            self.builds += 1
+            if store is not None:
+                store.save_source_index(
+                    self.source.name, content_hash, self.min_token_length,
+                    ids, token_sets, postings,
+                )
+
+    def _install_loaded_token_sets(
+        self, records: list[Record], token_lines: list[str]
+    ) -> list[frozenset[str]] | None:
+        """Token sets from a persisted payload, spot-checked before adoption.
+
+        A small sample of records is re-derived through the live tokeniser
+        and compared against the stored sets: a mismatch (e.g. a tokeniser
+        change that forgot to bump the artifact schema version) rejects the
+        whole payload, so the caller rebuilds instead of silently reusing
+        stale derivations.  The interning cache is *not* eagerly seeded —
+        ad-hoc queries intern on first use, exactly as they do against a
+        built index — keeping the install a single C-speed pass per record.
+        """
+        if not records:
+            return []
+        sample_positions = {0, len(records) // 2, len(records) - 1}
+        for position in sample_positions:
+            expected = frozenset(
+                token
+                for token in tokenize(records[position].as_text())
+                if len(token) >= self.min_token_length
+            )
+            line = token_lines[position]
+            if frozenset(line.split(" ") if line else ()) != expected:
+                return None
+        return [frozenset(line.split(" ")) if line else frozenset() for line in token_lines]
+
+    def save(self, store: ArtifactStore | None = None) -> None:
+        """Persist the current index state (building it first if needed).
+
+        Builds that happen with a store attached persist automatically; this
+        explicit hook covers an index built *before* the store existed — the
+        dataset-generation path — which :func:`repro.data.io.save_dataset`
+        persists alongside the data.  Re-saving an artifact that is already
+        on disk for this content is skipped.
+        """
+        store = store if store is not None else self._artifact_store()
+        if store is None:
+            return
+        self.ensure_fresh()
+        content_hash = self._built_hash
+        if content_hash is None or store.index_path(content_hash, self.min_token_length).exists():
+            return
+        store.save_source_index(
+            self.source.name, content_hash, self.min_token_length,
+            self._ids, self._token_sets, self._postings,
+        )
 
     def ensure_fresh(self) -> None:
-        """Rebuild when the source mutated since the last build (lazy, cheap check)."""
-        if self._built_version != self.source.data_version:
-            self._build()
+        """Rebuild (or warm-load) when the source content moved since the last build.
+
+        Freshness is judged by **content**, never by ``data_version`` alone:
+        replacing records in place never bumps the counter, but it does
+        change the records list, which closes the stale-index window the
+        counter left open.  Two layers keep the per-query cost negligible:
+
+        1. *identity fast path* — if the live ``source.records`` holds the
+           exact same objects, in the same order, as the snapshot taken at
+           the last validation, nothing can have changed (records are
+           immutable by convention — the same convention the content hash
+           itself relies on when it caches per-record digests).  This is one
+           C-speed ``is`` sweep.
+        2. *content hash* — on any identity difference the source's full
+           content hash decides: unchanged content (e.g. a reorder, or an
+           ``update`` writing identical values) revalidates without a
+           rebuild; changed content rebuilds or warm-loads from the artifact
+           store.
+        """
+        records_list = self.source.records
+        if (
+            self._snapshot is not None
+            and len(records_list) == len(self._snapshot)
+            and all(map(operator.is_, records_list, self._snapshot))
+        ):
+            return
+        content_hash = self.source.content_hash()
+        if self._built_hash != content_hash:
+            self._build(content_hash)
+        else:
+            # Content-equal revalidation (reorder, or an update writing equal
+            # values): the derivations stay valid, but serve the *live*
+            # record objects — a content-equal replacement may still differ
+            # in identity or source tag, and consumers compare records, not
+            # just derivations.
+            self._records = sorted(records_list, key=lambda record: record.record_id)
+        self._snapshot = list(records_list)
 
     # ---------------------------------------------------------------- reading
 

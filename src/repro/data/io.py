@@ -5,6 +5,15 @@ The DeepMatcher benchmark distributes each dataset as ``tableA.csv``,
 This module reads and writes that exact layout so that users with the original
 public data can load it directly, while the synthetic generators in
 :mod:`repro.data.synthetic` produce the same on-disk format.
+
+Saved datasets carry the content hashes of both sources in ``metadata.json``;
+:func:`load_dataset` verifies them, so silent on-disk corruption of a table
+surfaces as a :class:`~repro.exceptions.DatasetError` instead of flowing into
+experiments.  Passing an :class:`~repro.data.artifacts.ArtifactStore` to
+:func:`save_dataset` additionally persists both sources' token indexes next
+to the data, and passing one to :func:`load_dataset` attaches it to the loaded
+sources so the first candidate-generation query warm-loads instead of
+rebuilding.
 """
 
 from __future__ import annotations
@@ -12,12 +21,15 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.data.dataset import ERDataset, PairSplit
 from repro.data.records import Record, RecordPair, Schema, pairs_from_ids
 from repro.data.table import DataSource
 from repro.exceptions import DatasetError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.data.artifacts import ArtifactStore
 
 
 def write_source_csv(source: DataSource, path: str | Path, id_column: str = "id") -> Path:
@@ -89,8 +101,18 @@ def read_pairs_csv(path: str | Path, left: DataSource, right: DataSource) -> lis
     return pairs_from_ids(left_index, right_index, id_pairs)
 
 
-def save_dataset(dataset: ERDataset, directory: str | Path) -> Path:
-    """Persist a dataset in the DeepMatcher benchmark directory layout."""
+def save_dataset(
+    dataset: ERDataset,
+    directory: str | Path,
+    artifact_store: "ArtifactStore | None" = None,
+) -> Path:
+    """Persist a dataset in the DeepMatcher benchmark directory layout.
+
+    ``metadata.json`` records each table's content hash so a later load can
+    verify integrity.  With an ``artifact_store``, the store is attached to
+    both sources and their token indexes are built (if needed) and persisted
+    alongside, so a fresh process loading this dataset starts warm.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     write_source_csv(dataset.left, directory / "tableA.csv")
@@ -98,14 +120,40 @@ def save_dataset(dataset: ERDataset, directory: str | Path) -> Path:
     write_pairs_csv(dataset.train.pairs, directory / "train.csv")
     write_pairs_csv(dataset.valid.pairs, directory / "valid.csv")
     write_pairs_csv(dataset.test.pairs, directory / "test.csv")
-    metadata = {"name": dataset.name, "description": dataset.description}
+    metadata = {
+        "name": dataset.name,
+        "description": dataset.description,
+        "content_hashes": {
+            "tableA": dataset.left.content_hash(),
+            "tableB": dataset.right.content_hash(),
+        },
+    }
     (directory / "metadata.json").write_text(json.dumps(metadata, indent=2), encoding="utf-8")
+    if artifact_store is not None:
+        from repro.data.blocking import DEFAULT_BLOCKING_TOKEN_LENGTH
+        from repro.data.indexing import get_source_index
+
+        for source in (dataset.left, dataset.right):
+            source.artifact_store = artifact_store
+            get_source_index(source, DEFAULT_BLOCKING_TOKEN_LENGTH).save(artifact_store)
     return directory
 
 
-def load_dataset(directory: str | Path, name: str | None = None) -> ERDataset:
+def load_dataset(
+    directory: str | Path,
+    name: str | None = None,
+    artifact_store: "ArtifactStore | None" = None,
+) -> ERDataset:
     """Load a dataset previously written by :func:`save_dataset` (or the
-    original DeepMatcher benchmark layout)."""
+    original DeepMatcher benchmark layout).
+
+    When ``metadata.json`` carries content hashes (written by
+    :func:`save_dataset`), the loaded tables are verified against them and a
+    mismatch raises :class:`~repro.exceptions.DatasetError` — corrupted or
+    hand-edited tables never flow silently into experiments (delete
+    ``metadata.json`` to load intentionally edited data).  ``artifact_store``
+    is attached to both sources so derived structures warm-load from disk.
+    """
     directory = Path(directory)
     metadata_path = directory / "metadata.json"
     metadata = {}
@@ -114,6 +162,17 @@ def load_dataset(directory: str | Path, name: str | None = None) -> ERDataset:
     dataset_name = name or metadata.get("name") or directory.name
     left = read_source_csv(directory / "tableA.csv", name=f"{dataset_name}-left", source_tag="U")
     right = read_source_csv(directory / "tableB.csv", name=f"{dataset_name}-right", source_tag="V")
+    expected_hashes = metadata.get("content_hashes") or {}
+    for table, source in (("tableA", left), ("tableB", right)):
+        expected = expected_hashes.get(table)
+        if expected is not None and source.content_hash() != expected:
+            raise DatasetError(
+                f"{table}.csv in {directory} does not match the content hash recorded at "
+                f"save time; the file was modified or corrupted after save_dataset"
+            )
+    if artifact_store is not None:
+        left.artifact_store = artifact_store
+        right.artifact_store = artifact_store
     train = PairSplit("train", read_pairs_csv(directory / "train.csv", left, right))
     valid = PairSplit("valid", read_pairs_csv(directory / "valid.csv", left, right))
     test = PairSplit("test", read_pairs_csv(directory / "test.csv", left, right))

@@ -15,6 +15,7 @@ subsystem (models, explainers, metrics) can share a single vocabulary:
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
@@ -176,6 +177,28 @@ class Record:
         """Serialise all non-missing values into a single string."""
         parts = [value for value in self.values.values() if value != MISSING_VALUE]
         return separator.join(parts)
+
+    def content_digest(self) -> str:
+        """Stable hex digest of the record's identifier and values.
+
+        The per-record building block of :meth:`repro.data.table.DataSource.
+        content_hash`, which derived structures (token indexes, persisted
+        artifacts) use to validate themselves against the *current* records
+        rather than trusting a mutation counter.  The ``source`` tag is
+        deliberately excluded: no derived artifact depends on it, and CSV
+        round-trips re-tag sources (``U`` / ``V``) without changing content.
+        Records are immutable by convention, so the digest is computed once
+        and cached on the instance; an in-place replacement of a record
+        inside a source is a *different* object with its own digest, which is
+        exactly what makes the source hash catch such mutations.
+        """
+        cached = self.__dict__.get("_content_digest")
+        if cached is None:
+            parts = [self.record_id]
+            parts.extend(f"{name}\x1e{value}" for name, value in sorted(self.values.items()))
+            cached = hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_content_digest", cached)
+        return cached
 
     def __hash__(self) -> int:
         return hash((self.record_id, tuple(sorted(self.values.items())), self.source))

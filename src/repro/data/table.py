@@ -8,12 +8,16 @@ simple sampling utilities in addition to plain iteration.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.data.records import Record, Schema
 from repro.exceptions import DatasetError, SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only (artifacts never imports us)
+    from repro.data.artifacts import ArtifactStore
 
 
 @dataclass
@@ -27,6 +31,10 @@ class DataSource:
     def __post_init__(self) -> None:
         self._by_id: dict[str, Record] = {}
         self._data_version = 0
+        #: Optional persistence backend for derived structures (the inverted
+        #: token index of :mod:`repro.data.indexing` warm-loads through it).
+        #: ``None`` falls back to :func:`repro.data.artifacts.default_store`.
+        self.artifact_store: "ArtifactStore | None" = None
         for record in self.records:
             self._validate(record)
             self._by_id[record.record_id] = record
@@ -35,14 +43,35 @@ class DataSource:
 
     @property
     def data_version(self) -> int:
-        """Monotonic counter bumped on every mutation through :meth:`add`.
+        """Monotonic counter bumped on every mutation through :meth:`add`,
+        :meth:`update` or :meth:`remove`.
 
         Derived structures (e.g. the inverted token index of
-        :mod:`repro.data.indexing`) compare this against the version they were
-        built at to decide whether they are stale.  Mutating ``records``
-        directly bypasses the counter; all library code goes through ``add``.
+        :mod:`repro.data.indexing`) use this as a cheap staleness hint, but
+        validate by :meth:`content_hash`, so even mutating ``records``
+        directly — which bypasses the counter — cannot make them serve stale
+        results.  Library code still goes through the mutation API.
         """
         return self._data_version
+
+    def content_hash(self) -> str:
+        """Order-insensitive digest of the source's full content.
+
+        Covers the schema and every record's :meth:`~repro.data.records.
+        Record.content_digest`, sorted, so two sources holding the same
+        records (in any insertion order) hash identically.  Unlike
+        :attr:`data_version` this is recomputed from the records on every
+        call: replacing a record *in place* (bypassing :meth:`update`)
+        changes the hash, which is what lets the token index and the artifact
+        store of :mod:`repro.data.artifacts` validate by content instead of
+        trusting the counter.  Per-record digests are cached on the immutable
+        records, so a call costs one pass over cached hex strings.
+        """
+        digest = hashlib.sha256()
+        digest.update("|".join(self.schema.attributes).encode("utf-8"))
+        for record_digest in sorted(record.content_digest() for record in self.records):
+            digest.update(record_digest.encode("ascii"))
+        return digest.hexdigest()
 
     def _validate(self, record: Record) -> None:
         if tuple(record.attribute_names()) != self.schema.attributes:
@@ -59,6 +88,36 @@ class DataSource:
         self.records.append(record)
         self._by_id[record.record_id] = record
         self._data_version += 1
+
+    def update(self, record: Record) -> Record:
+        """Replace the record sharing ``record.record_id``; returns the old one.
+
+        The replacement keeps the original's position in insertion order.
+        Raises ``DatasetError`` when no record with that id exists and
+        ``SchemaError`` when the replacement does not fit the schema.
+        """
+        self._validate(record)
+        old = self._by_id.get(record.record_id)
+        if old is None:
+            raise DatasetError(
+                f"cannot update unknown record id {record.record_id!r} in {self.name!r}"
+            )
+        self.records[self.records.index(old)] = record
+        self._by_id[record.record_id] = record
+        self._data_version += 1
+        return old
+
+    def remove(self, record_id: str) -> Record:
+        """Remove and return the record with ``record_id``.
+
+        Raises ``DatasetError`` when the id is unknown.
+        """
+        record = self._by_id.pop(record_id, None)
+        if record is None:
+            raise DatasetError(f"cannot remove unknown record id {record_id!r} from {self.name!r}")
+        self.records.remove(record)
+        self._data_version += 1
+        return record
 
     def get(self, record_id: str) -> Record:
         """Return the record with ``record_id`` or raise ``DatasetError``."""

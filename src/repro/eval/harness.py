@@ -38,6 +38,7 @@ from repro.certa.explainer import CertaExplainer, CertaExplanation
 from repro.certa.lattice import monotonicity_violations
 from repro.certa.perturbation import perturbed_pair
 from repro.certa.triangles import find_open_triangles
+from repro.data.artifacts import ArtifactStore, default_store
 from repro.data.dataset import ERDataset
 from repro.data.indexing import IndexStats
 from repro.data.records import RecordPair
@@ -125,15 +126,29 @@ class ExperimentHarness:
     executed.  The default is an in-process serial runner; pass
     ``SweepRunner(executor="processes", checkpoint=...)`` for a parallel,
     resumable sweep — the rows are identical either way.
+
+    ``artifact_store`` (default: the ``REPRO_ARTIFACT_DIR`` store, if the
+    variable is set) persists derived structures across processes: trained
+    matcher weights, featurisation value caches and per-source token indexes
+    all warm-load on the next run instead of being rebuilt — every reuse
+    validated by content hash, so only provably-safe artifacts are skipped.
     """
 
-    def __init__(self, config: HarnessConfig | None = None, runner: SweepRunner | None = None) -> None:
+    def __init__(
+        self,
+        config: HarnessConfig | None = None,
+        runner: SweepRunner | None = None,
+        artifact_store: ArtifactStore | None = None,
+    ) -> None:
         self.config = config or default_config()
         self.runner = runner or SweepRunner()
+        self.artifact_store = artifact_store if artifact_store is not None else default_store()
         self.last_sweep: SweepResult | None = None
         self._datasets: dict[str, ERDataset] = {}
         self._datasets_lock = threading.Lock()
-        self._model_cache = ModelCache(fast=self.config.fast_models)
+        self._model_cache = ModelCache(
+            fast=self.config.fast_models, artifact_store=self.artifact_store
+        )
 
     # ------------------------------------------------------------ data / models
 
@@ -141,8 +156,21 @@ class ExperimentHarness:
         """The (scaled) benchmark dataset for ``code`` (thread-safe, memoised)."""
         with self._datasets_lock:
             if code not in self._datasets:
-                self._datasets[code] = load_benchmark(code, scale=self.config.dataset_scale)
+                dataset = load_benchmark(code, scale=self.config.dataset_scale)
+                if self.artifact_store is not None:
+                    dataset.left.artifact_store = self.artifact_store
+                    dataset.right.artifact_store = self.artifact_store
+                self._datasets[code] = dataset
             return self._datasets[code]
+
+    def save_artifacts(self) -> None:
+        """Persist the featurisation caches of every trained matcher.
+
+        Indexes and weights save themselves at build/train time; the
+        featurizer caches fill during explanation workloads, so the sweep
+        runner calls this after executing work units.  No-op without a store.
+        """
+        self._model_cache.save_artifacts()
 
     def trained(self, model_name: str, code: str) -> TrainedModel:
         """A trained matcher for (model, dataset), memoised."""

@@ -13,6 +13,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.data.artifacts import write_atomic_npz, write_atomic_text
 from repro.exceptions import ModelError, NotFittedError
 from repro.models.base import ERModel
 from repro.models.nn.network import MLPClassifier
@@ -20,14 +21,21 @@ from repro.models.training import make_model
 
 
 def save_model(model: ERModel, directory: str | Path) -> Path:
-    """Persist a trained matcher's weights and configuration to ``directory``."""
+    """Persist a trained matcher's weights and configuration to ``directory``.
+
+    Both files are written atomically (temp file + rename), so a killed or
+    concurrent save never leaves a partially written artifact: the artifact
+    store validates ``trained.json`` *last*, and concurrent savers of the
+    same key write byte-identical content (training is deterministic), so
+    whole-file replacement is always safe.
+    """
     if not model.is_fitted:
         raise NotFittedError(f"cannot save unfitted model {model.name!r}")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     classifier = model._require_fitted()
     weights = classifier.get_weights()
-    np.savez(directory / "weights.npz", **{f"w{i}": w for i, w in enumerate(weights)})
+    write_atomic_npz(directory / "weights.npz", {f"w{i}": w for i, w in enumerate(weights)})
     config = {
         "name": model.name,
         "input_dim": classifier.input_dim,
@@ -36,7 +44,7 @@ def save_model(model: ERModel, directory: str | Path) -> Path:
         "learning_rate": classifier.learning_rate,
         "seed": classifier.seed,
     }
-    (directory / "config.json").write_text(json.dumps(config, indent=2), encoding="utf-8")
+    write_atomic_text(directory / "config.json", json.dumps(config, indent=2))
     return directory
 
 

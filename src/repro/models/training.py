@@ -14,6 +14,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.data.artifacts import ArtifactStore, dataset_fingerprint, default_store
 from repro.data.dataset import ERDataset
 from repro.exceptions import ModelError
 from repro.models.base import ERModel, TrainingReport
@@ -93,7 +94,7 @@ def train_model_zoo(
 
 @dataclass
 class ModelCache:
-    """Memoises trained matchers per (dataset, model, fast) key.
+    """Memoises trained matchers per (dataset content fingerprint, model, fast) key.
 
     Safe to share across the sweep runner's ``threads`` executor: a per-key
     event guarantees each matcher is trained exactly once while letting
@@ -106,17 +107,35 @@ class ModelCache:
     :class:`~repro.models.engine.PredictionEngine`, so memoising in the model
     as well would store each score twice (the layering issue flagged in the
     engine docstring).
+
+    With an :class:`~repro.data.artifacts.ArtifactStore` attached (explicitly
+    or via ``REPRO_ARTIFACT_DIR``), a matcher trained in *any* earlier
+    process on byte-identical inputs — validated through
+    :func:`~repro.data.artifacts.dataset_fingerprint`, which hashes both
+    sources' content and every split — is warm-loaded instead of retrained,
+    and its featurisation caches are pre-seeded from the persisted value
+    caches.  Training is deterministic, so a loaded matcher scores exactly
+    like a freshly trained one (the equivalence pinned by
+    ``tests/test_artifact_store.py``).
     """
 
     fast: bool = True
     cache_predictions: bool = False
+    artifact_store: ArtifactStore | None = None
     _cache: dict[tuple[str, str, bool], TrainedModel] = field(default_factory=dict, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
     _pending: dict[tuple[str, str, bool], threading.Event] = field(default_factory=dict, repr=False, compare=False)
 
     def get(self, model_name: str, dataset: ERDataset) -> TrainedModel:
-        """Return a trained matcher, training it on first request."""
-        key = (dataset.name, model_name, self.fast)
+        """Return a trained matcher, loading or training it on first request.
+
+        The memo key includes the dataset's content fingerprint, so a dataset
+        mutated through the ``DataSource`` lifecycle API (or rebuilt under
+        the same name with different records) trains a fresh matcher instead
+        of silently reusing one fitted to the old data.
+        """
+        digest = dataset_fingerprint(dataset)
+        key = (digest, model_name, self.fast)
         while True:
             with self._lock:
                 cached = self._cache.get(key)
@@ -129,15 +148,107 @@ class ModelCache:
                     break
             pending.wait()
         try:
-            trained = train_model(
-                model_name, dataset, fast=self.fast, cache_predictions=self.cache_predictions
-            )
+            trained = self._load_or_train(model_name, dataset, digest)
             with self._lock:
                 self._cache[key] = trained
             return trained
         finally:
             with self._lock:
                 self._pending.pop(key).set()
+
+    def _resolve_store(self) -> ArtifactStore | None:
+        """The attached store, else the process-wide ``REPRO_ARTIFACT_DIR`` one."""
+        return self.artifact_store if self.artifact_store is not None else default_store()
+
+    def _load_or_train(self, model_name: str, dataset: ERDataset, digest: str) -> TrainedModel:
+        store = self._resolve_store()
+        if store is not None:
+            loaded = self._load_trained(store, model_name, digest)
+            if loaded is not None:
+                store.model_loads += 1
+                return loaded
+            store.model_misses += 1
+        trained = train_model(
+            model_name, dataset, fast=self.fast, cache_predictions=self.cache_predictions
+        )
+        if store is not None:
+            self._save_trained(store, trained, model_name, digest)
+        return trained
+
+    def _load_trained(
+        self, store: ArtifactStore, model_name: str, digest: str
+    ) -> TrainedModel | None:
+        """A persisted trained matcher for this exact (model, data) input, or None.
+
+        Any validation or deserialisation failure degrades to retraining —
+        a skewed or corrupt model artifact is never trusted.  A successful
+        load also warms the model's featurisation caches from the store.
+        """
+        from repro.models.persistence import load_model  # local: persistence imports us
+
+        directory = store.model_dir(model_name, self.fast, digest)
+        metadata = store.load_model_metadata(directory, digest)
+        if metadata is None:
+            return None
+        try:
+            model = load_model(directory, cache_predictions=self.cache_predictions)
+            report = TrainingReport(**metadata["report"])
+            test_metrics = {
+                str(name): float(value) for name, value in metadata["test_metrics"].items()
+            }
+        except Exception:
+            return None
+        model.training_report = report
+        featurizer = getattr(model, "_featurizer", None)
+        if featurizer is not None:
+            store.warm_featurizer(featurizer)
+        return TrainedModel(model=model, report=report, test_metrics=test_metrics)
+
+    def _save_trained(
+        self, store: ArtifactStore, trained: TrainedModel, model_name: str, digest: str
+    ) -> None:
+        from repro.models.persistence import save_model  # local: persistence imports us
+
+        directory = store.model_dir(model_name, self.fast, digest)
+        save_model(trained.model, directory)
+        store.save_model_metadata(
+            directory,
+            {
+                "model_name": model_name,
+                "fast": self.fast,
+                "dataset_fingerprint": digest,
+                "report": trained.report.as_dict(),
+                "test_metrics": trained.test_metrics,
+            },
+        )
+        store.model_saves += 1
+
+    def save_artifacts(self) -> None:
+        """Persist the featurisation caches of every trained matcher.
+
+        Weights are saved at training time; the featurizer value caches fill
+        *during* explanation workloads, so the harness / sweep runner calls
+        this after executing work units.  A no-op without a store.
+        """
+        store = self._resolve_store()
+        if store is None:
+            return
+        with self._lock:
+            trained_models = list(self._cache.values())
+        for trained in trained_models:
+            featurizer = getattr(trained.model, "_featurizer", None)
+            if featurizer is None:
+                continue
+            sizes = (featurizer.values.size(), featurizer.comparisons.size())
+            if sizes == (0, 0):
+                continue
+            # Re-saving an unchanged cache would re-read, merge and rewrite
+            # the whole archive for nothing — a real cost when workers call
+            # this after every unit; skip until the cache actually grew.
+            if getattr(featurizer, "_persisted_sizes", None) == sizes:
+                continue
+            store.save_featurizer(featurizer)
+            featurizer._persisted_sizes = sizes
 
     def clear(self) -> None:
         """Drop all cached models."""

@@ -14,6 +14,18 @@ from repro.models.training import train_model
 from tests.helpers import ConstantModel, SimilarityModel, toy_dataset, toy_pairs, toy_sources
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_artifact_env(monkeypatch):
+    """Keep the tier-1 suite independent of an ambient ``REPRO_ARTIFACT_DIR``.
+
+    The suite asserts exact build/load counters; an artifact directory
+    inherited from the developer's shell would turn cold builds into warm
+    loads (and pollute that store with test data).  Tests that exercise
+    persistence construct their own explicit :class:`ArtifactStore`.
+    """
+    monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+
+
 @pytest.fixture()
 def sources():
     """Fresh toy data sources (left, right)."""

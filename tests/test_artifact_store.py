@@ -1,0 +1,394 @@
+"""Property-style tests for the persistent artifact store (repro.data.artifacts).
+
+The contract: a warm-loaded artifact is **byte-equivalent** to the structure a
+fresh build would have produced — for token indexes (ranking, blocking,
+triangle search, full CERTA explanations), featurizer caches (feature
+matrices) and trained matchers (scores) — and any artifact that cannot be
+*proved* safe (corrupt, truncated, version-skewed, content-mismatched) is
+silently rebuilt, never silently reused.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.certa.explainer import CertaExplainer
+from repro.data import artifacts as artifacts_module
+from repro.data.artifacts import (
+    ARTIFACT_DIR_ENV,
+    ArtifactStore,
+    dataset_fingerprint,
+    default_store,
+)
+from repro.data.blocking import token_blocking, top_k_neighbours
+from repro.data.indexing import _TOKEN_SET_CACHE, get_source_index
+from repro.data.io import load_dataset, save_dataset
+from repro.models import training as training_module
+from repro.models.training import ModelCache
+
+from tests.helpers import SimilarityModel, make_record, toy_dataset, toy_pairs, toy_sources
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "artifacts")
+
+
+def _fresh_sources(store=None):
+    left, right = toy_sources()
+    if store is not None:
+        left.artifact_store = store
+        right.artifact_store = store
+    return left, right
+
+
+def _scan_ids(query, source, k=None):
+    return [r.record_id for r in top_k_neighbours(query, list(source), k=k, indexed=False)]
+
+
+class TestIndexRoundTrip:
+    def test_loaded_index_counts_a_load_not_a_build(self, store):
+        left, right = _fresh_sources(store)
+        query = right.get("R0")
+        built = [r.record_id for r in get_source_index(left, 2).top_k(query, k=None)]
+
+        left2, _ = _fresh_sources(store)
+        _TOKEN_SET_CACHE.clear()
+        index = get_source_index(left2, 2)
+        loaded = [r.record_id for r in index.top_k(query, k=None)]
+        assert (index.builds, index.loads) == (0, 1)
+        assert loaded == built == _scan_ids(query, left2)
+
+    def test_loaded_index_serves_blocking_identically(self, store):
+        left, right = _fresh_sources(store)
+        reference = token_blocking(left, right, indexed=True)
+        assert store.stats.index_saves == 2
+
+        left2, right2 = _fresh_sources(store)
+        _TOKEN_SET_CACHE.clear()
+        warm = token_blocking(left2, right2, indexed=True)
+        scanned = token_blocking(left2, right2, indexed=False)
+        assert warm.pairs == reference.pairs == scanned.pairs
+        assert store.stats.index_loads == 2
+
+    def test_mutated_source_invalidates_the_artifact(self, store):
+        left, right = _fresh_sources(store)
+        query = right.get("R0")
+        get_source_index(left, 2).top_k(query, k=3)
+
+        left2, _ = _fresh_sources(store)
+        left2.add(make_record("L9", "brand new unseen gadget", "totally new gadget", "5.00"))
+        index = get_source_index(left2, 2)
+        result = [r.record_id for r in index.top_k(query, k=None)]
+        assert (index.builds, index.loads) == (1, 0)  # content moved: no reuse
+        assert result == _scan_ids(query, left2)
+        # ... and the rebuild persisted an artifact for the *new* content.
+        assert store.index_path(left2.content_hash(), 2).exists()
+
+    def test_in_place_mutation_never_reuses_the_artifact(self, store):
+        """Bypassing the mutation API entirely still invalidates by content."""
+        left, right = _fresh_sources(store)
+        query = right.get("R0")
+        get_source_index(left, 2).top_k(query, k=3)
+
+        left2, _ = _fresh_sources(store)
+        left2.records[0] = make_record("L0", "replaced in place", "replaced content", "1.00")
+        index = get_source_index(left2, 2)
+        result = [r.record_id for r in index.top_k(query, k=None)]
+        assert index.loads == 0
+        assert result == _scan_ids(query, left2)
+
+
+def _corrupt_truncate(path):
+    path.write_bytes(path.read_bytes()[: max(1, path.stat().st_size // 2)])
+
+
+def _corrupt_garbage(path):
+    path.write_bytes(b"\x00garbage\xff" * 64)
+
+
+def _corrupt_schema_version(path):
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["schema_version"] = payload["schema_version"] + 1
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+def _corrupt_content_hash(path):
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["content_hash"] = "0" * len(payload["content_hash"])
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+def _corrupt_token_payload(path):
+    """Valid JSON, right hash, wrong derivations — the spot-check must catch it."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["token_sets"] = "\n".join(["zz"] * payload["record_count"])
+    payload["posting_tokens"] = "zz"
+    payload["posting_counts"] = [payload["record_count"]]
+    payload["posting_positions"] = list(range(payload["record_count"]))
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+def _corrupt_dropped_record(path):
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["token_sets"] = "\n".join(payload["token_sets"].split("\n")[:-1])
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+def _corrupt_posting_out_of_range(path):
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["posting_positions"][0] = payload["record_count"] + 7
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+CORRUPTIONS = {
+    "truncated": _corrupt_truncate,
+    "garbage_bytes": _corrupt_garbage,
+    "schema_version_skew": _corrupt_schema_version,
+    "content_hash_mismatch": _corrupt_content_hash,
+    "wrong_derivations": _corrupt_token_payload,
+    "dropped_record": _corrupt_dropped_record,
+    "posting_out_of_range": _corrupt_posting_out_of_range,
+}
+
+
+class TestIndexCorruption:
+    @pytest.mark.parametrize("corruption", sorted(CORRUPTIONS), ids=sorted(CORRUPTIONS))
+    def test_damaged_artifact_rebuilds_and_stays_correct(self, store, corruption):
+        """save → corrupt → load: graceful rebuild, never silent reuse."""
+        left, right = _fresh_sources(store)
+        query = right.get("R0")
+        get_source_index(left, 2).top_k(query, k=3)
+        path = store.index_path(left.content_hash(), 2)
+        assert path.exists()
+        CORRUPTIONS[corruption](path)
+
+        left2, _ = _fresh_sources(store)
+        _TOKEN_SET_CACHE.clear()
+        index = get_source_index(left2, 2)
+        result = [r.record_id for r in index.top_k(query, k=None)]
+        assert index.loads == 0, f"{corruption}: damaged artifact was silently reused"
+        assert index.builds == 1
+        assert result == _scan_ids(query, left2)
+
+    def test_missing_artifact_directory_is_a_plain_cold_start(self, tmp_path):
+        store = ArtifactStore(tmp_path / "never-created")
+        left, right = _fresh_sources(store)
+        index = get_source_index(left, 2)
+        index.top_k(right.get("R0"), k=3)
+        assert (index.builds, index.loads) == (1, 0)
+
+
+class TestFeaturizerRoundTrip:
+    def _featurize_workload(self, model, pairs):
+        return model.featurize(pairs)
+
+    def test_warm_cache_produces_byte_identical_matrices(self, store, ab_dataset, trained_deepmatcher):
+        pairs = ab_dataset.test.pairs[:8]
+        model = trained_deepmatcher.model
+        fresh = self._featurize_workload(model, pairs)
+        store.save_featurizer(model._featurizer)
+
+        from repro.models.training import make_model
+
+        twin = make_model("deepmatcher")
+        assert store.warm_featurizer(twin._featurizer)
+        twin._classifier = model._classifier  # weights irrelevant to featurisation
+        warm = self._featurize_workload(twin, pairs)
+        assert np.array_equal(fresh, warm)
+        stats = twin._featurizer.stats
+        assert stats.comparison_hits > 0 and stats.comparison_misses == 0
+
+    def test_fingerprint_mismatch_is_a_miss(self, store, trained_deepmatcher):
+        store.save_featurizer(trained_deepmatcher.model._featurizer)
+
+        from repro.models.training import make_model
+
+        other_seed = make_model("deepmatcher", seed=99)
+        assert not store.warm_featurizer(other_seed._featurizer)
+        other_family = make_model("ditto")
+        assert not store.warm_featurizer(other_family._featurizer)
+        assert store.stats.featurizer_misses == 2
+
+    def test_merge_on_save_unions_entries(self, store, ab_dataset, trained_deepmatcher):
+        model = trained_deepmatcher.model
+        first_batch, second_batch = ab_dataset.test.pairs[:4], ab_dataset.test.pairs[4:8]
+        model.clear_featurizer_cache()
+        model.featurize(first_batch)
+        store.save_featurizer(model._featurizer)
+        model.clear_featurizer_cache()
+        model.featurize(second_batch)
+        store.save_featurizer(model._featurizer)
+
+        from repro.models.training import make_model
+
+        twin = make_model("deepmatcher")
+        assert store.warm_featurizer(twin._featurizer)
+        twin._classifier = model._classifier
+        twin.featurize(first_batch + second_batch)
+        stats = twin._featurizer.stats
+        assert stats.comparison_misses == 0  # both batches' entries survived the merge
+
+
+class TestTrainedModelRoundTrip:
+    def test_second_process_loads_instead_of_training(self, store, ab_dataset, monkeypatch):
+        warm_cache = ModelCache(fast=True, artifact_store=store)
+        first = warm_cache.get("classical", ab_dataset)
+        scores = first.model.predict_proba(ab_dataset.test.pairs[:10])
+        assert store.stats.model_saves == 1
+
+        def boom(*args, **kwargs):  # a warm start must never reach training
+            raise AssertionError("train_model called despite a valid artifact")
+
+        monkeypatch.setattr(training_module, "train_model", boom)
+        fresh_cache = ModelCache(fast=True, artifact_store=store)
+        second = fresh_cache.get("classical", ab_dataset)
+        assert np.array_equal(second.model.predict_proba(ab_dataset.test.pairs[:10]), scores)
+        assert second.report.as_dict() == first.report.as_dict()
+        assert second.test_metrics == first.test_metrics
+        assert store.stats.model_loads == 1
+
+    def test_dataset_change_invalidates_the_model_artifact(self, store, ab_dataset):
+        cache = ModelCache(fast=True, artifact_store=store)
+        cache.get("classical", ab_dataset)
+        mutated = toy_dataset()
+        assert dataset_fingerprint(mutated) != dataset_fingerprint(ab_dataset)
+        cache2 = ModelCache(fast=True, artifact_store=store)
+        cache2.get("classical", mutated)
+        assert store.stats.model_misses == 2  # cold start for each distinct input
+
+    def test_mutated_dataset_retrains_in_the_same_process(self, monkeypatch):
+        """The in-memory memo is fingerprint-keyed: a lifecycle mutation must
+        retrain rather than serve the matcher fitted to the old data."""
+        trainings = []
+        original = training_module.train_model
+
+        def counting_train(model_name, dataset, **kwargs):
+            trainings.append(model_name)
+            return original(model_name, dataset, **kwargs)
+
+        monkeypatch.setattr(training_module, "train_model", counting_train)
+        dataset = toy_dataset()
+        cache = ModelCache(fast=True)
+        cache.get("classical", dataset)
+        cache.get("classical", dataset)
+        assert trainings == ["classical"]  # memo hit while the data is unchanged
+        dataset.left.update(
+            make_record("L0", "sony bravia theater", "a very different description", "199.99")
+        )
+        cache.get("classical", dataset)
+        assert trainings == ["classical", "classical"]  # mutation forces retraining
+
+    def test_fast_flag_keys_separate_artifacts(self, store, ab_dataset):
+        digest = dataset_fingerprint(ab_dataset)
+        assert store.model_dir("classical", True, digest) != store.model_dir("classical", False, digest)
+
+    def test_corrupt_model_metadata_falls_back_to_training(self, store, ab_dataset):
+        cache = ModelCache(fast=True, artifact_store=store)
+        cache.get("classical", ab_dataset)
+        directory = store.model_dir("classical", True, dataset_fingerprint(ab_dataset))
+        (directory / "trained.json").write_text("{not json", encoding="utf-8")
+        cache2 = ModelCache(fast=True, artifact_store=store)
+        trained = cache2.get("classical", ab_dataset)  # must retrain, not raise
+        assert trained.model.is_fitted
+        assert store.stats.model_saves == 2  # the retrain re-persisted the artifact
+
+
+class TestDatasetWiring:
+    def test_save_load_dataset_round_trip_warm_loads(self, store, tmp_path):
+        dataset = toy_dataset()
+        save_dataset(dataset, tmp_path / "ds", artifact_store=store)
+        assert store.stats.index_saves == 2  # both sources persisted at save time
+
+        _TOKEN_SET_CACHE.clear()
+        loaded = load_dataset(tmp_path / "ds", artifact_store=store)
+        index = get_source_index(loaded.left, 2)
+        query = loaded.right.get("R0")
+        result = [r.record_id for r in index.top_k(query, k=None)]
+        assert (index.builds, index.loads) == (0, 1)
+        assert result == _scan_ids(query, loaded.left)
+
+    def test_tampered_table_fails_hash_verification(self, store, tmp_path):
+        save_dataset(toy_dataset(), tmp_path / "ds")
+        table = tmp_path / "ds" / "tableA.csv"
+        table.write_text(table.read_text(encoding="utf-8").replace("sony", "pony"), encoding="utf-8")
+        from repro.exceptions import DatasetError
+
+        with pytest.raises(DatasetError, match="content hash"):
+            load_dataset(tmp_path / "ds")
+
+    def test_metadata_without_hashes_loads_unverified(self, tmp_path):
+        """Pre-artifact-store datasets (original benchmark layout) still load."""
+        save_dataset(toy_dataset(), tmp_path / "ds")
+        metadata_path = tmp_path / "ds" / "metadata.json"
+        metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
+        del metadata["content_hashes"]
+        metadata_path.write_text(json.dumps(metadata), encoding="utf-8")
+        table = tmp_path / "ds" / "tableA.csv"
+        table.write_text(table.read_text(encoding="utf-8").replace("sony", "pony"), encoding="utf-8")
+        loaded = load_dataset(tmp_path / "ds")  # no hashes recorded: nothing to verify
+        assert "pony bravia theater" in {r.value("name") for r in loaded.left}
+
+
+class TestEndToEndExplanationEquivalence:
+    def test_certa_explanations_identical_on_loaded_artifacts(self, store):
+        """Full CERTA explanations: warm-loaded == freshly built == scan."""
+        model = SimilarityModel()
+        left, right = _fresh_sources(store)
+        pairs = toy_pairs(left, right)
+        built_explainer = CertaExplainer(model, left, right, num_triangles=8, seed=0, indexed=True)
+        built = [built_explainer.explain_full(pair) for pair in (pairs[0], pairs[-2])]
+        assert store.stats.index_saves == 2
+
+        _TOKEN_SET_CACHE.clear()
+        left2, right2 = _fresh_sources(store)
+        pairs2 = toy_pairs(left2, right2)
+        warm_explainer = CertaExplainer(model, left2, right2, num_triangles=8, seed=0, indexed=True)
+        scan_explainer = CertaExplainer(model, left2, right2, num_triangles=8, seed=0, indexed=False)
+        for pair, reference in zip((pairs2[0], pairs2[-2]), built):
+            warm = warm_explainer.explain_full(pair)
+            scanned = scan_explainer.explain_full(pair)
+            assert warm.saliency.scores == reference.saliency.scores == scanned.saliency.scores
+            assert (
+                warm.counterfactual.attribute_set
+                == reference.counterfactual.attribute_set
+                == scanned.counterfactual.attribute_set
+            )
+            assert warm.flips == reference.flips == scanned.flips
+            assert warm.triangles_used == reference.triangles_used
+        assert store.stats.index_loads == 2
+        warm_stats = get_source_index(left2, 2).stats
+        assert warm_stats.builds == 0 and warm_stats.loads == 1
+
+
+class TestStoreInfrastructure:
+    def test_stats_as_dict_round_trip(self, store):
+        store.index_loads, store.model_saves = 3, 2
+        view = store.stats.as_dict()
+        assert view["index_loads"] == 3 and view["model_saves"] == 2
+        assert set(view) == {
+            "index_loads", "index_saves", "index_misses",
+            "featurizer_loads", "featurizer_saves", "featurizer_misses",
+            "model_loads", "model_saves", "model_misses",
+        }
+
+    def test_default_store_reads_the_environment(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(ARTIFACT_DIR_ENV, raising=False)
+        assert default_store() is None
+        monkeypatch.setenv(ARTIFACT_DIR_ENV, str(tmp_path / "env-store"))
+        try:
+            store = default_store()
+            assert store is not None
+            assert store is default_store()  # memoised per directory
+            assert store.directory == tmp_path / "env-store"
+        finally:
+            artifacts_module._DEFAULT_STORES.clear()
+
+    def test_atomic_writes_leave_no_temp_files(self, store):
+        left, right = _fresh_sources(store)
+        get_source_index(left, 2).top_k(right.get("R0"), k=2)
+        leftovers = [path for path in store.directory.rglob(".*") if path.is_file()]
+        assert leftovers == []

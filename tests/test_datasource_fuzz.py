@@ -1,0 +1,179 @@
+"""Differential fuzz suite for the mutable DataSource lifecycle.
+
+Every mutation path of :class:`repro.data.table.DataSource` — ``add``,
+``update``, ``remove`` — must leave the indexed candidate-generation stack
+(:mod:`repro.data.indexing`) *byte-equal* to the full-scan golden reference.
+This suite applies seeded random mutation sequences and, **after every single
+mutation**, compares
+
+* top-k similarity ranking (indexed vs scan, bounded and unbounded k),
+* token blocking (indexed vs scan), and
+* open-triangle search (indexed vs scan, including augmentation bookkeeping)
+
+so any staleness window, interning leak or ordering divergence introduced by
+a mutation is caught at the exact step that opened it.  A persistence variant
+replays mutations against a source wired to an on-disk artifact store, so
+save → mutate → warm-load cycles are fuzzed the same way.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.artifacts import ArtifactStore
+from repro.data.blocking import token_blocking, top_k_neighbours
+from repro.data.indexing import get_source_index
+from repro.data.records import Record, RecordPair
+from repro.data.table import DataSource
+from repro.certa.triangles import find_open_triangles
+
+from tests.helpers import LEFT_SCHEMA, SimilarityModel, make_record, toy_sources
+
+#: Number of seeded mutation sequences the suite replays (acceptance: >= 200).
+SEQUENCE_COUNT = 200
+
+#: Mutations applied per sequence.
+SEQUENCE_LENGTH = 6
+
+_WORDS = (
+    "sony", "bravia", "canon", "powershot", "bose", "soundlink", "garmin",
+    "philips", "dvd", "camera", "speaker", "portable", "wireless", "router",
+    "printer", "photo", "audio", "system", "theater", "digital", "compact",
+    "bluetooth", "navigator", "progressive", "micro", "dual", "band",
+)
+
+
+def _random_record(rng: random.Random, record_id: str) -> Record:
+    name = " ".join(rng.sample(_WORDS, rng.randint(2, 4)))
+    description = " ".join(rng.sample(_WORDS, rng.randint(3, 6)))
+    price = f"{rng.randint(10, 999)}.{rng.randint(0, 99):02d}"
+    return make_record(record_id, name, description, price)
+
+
+def _apply_random_mutation(rng: random.Random, source: DataSource, counter: list[int]) -> str:
+    """One random lifecycle mutation through the public API; returns its name."""
+    operations = ["add", "update"]
+    if len(source) > 3:  # keep enough records for triangle search to stay meaningful
+        operations.append("remove")
+    operation = rng.choice(operations)
+    if operation == "add":
+        counter[0] += 1
+        source.add(_random_record(rng, f"F{counter[0]}"))
+    elif operation == "update":
+        victim = rng.choice(source.ids())
+        source.update(_random_record(rng, victim))
+    else:
+        source.remove(rng.choice(source.ids()))
+    return operation
+
+
+def _assert_ranking_equivalence(source: DataSource, queries) -> None:
+    for query in queries:
+        for k in (3, None):
+            indexed = top_k_neighbours(query, source, k=k, indexed=True)
+            scanned = top_k_neighbours(query, list(source), k=k, indexed=False)
+            assert [r.record_id for r in indexed] == [r.record_id for r in scanned]
+
+
+def _assert_blocking_equivalence(left: DataSource, right: DataSource) -> None:
+    indexed = token_blocking(left, right, indexed=True)
+    scanned = token_blocking(left, right, indexed=False)
+    assert indexed.pairs == scanned.pairs
+    assert indexed.reduction_ratio == scanned.reduction_ratio
+
+
+def _triangle_fingerprint(result):
+    return (
+        [(t.side, t.support.record_id, tuple(sorted(t.support.values.items())), t.augmented)
+         for t in result.triangles],
+        result.requested,
+        result.candidates_scored,
+        result.augmented_count,
+    )
+
+
+def _assert_triangle_equivalence(model, pair, left, right, seed: int) -> None:
+    indexed = find_open_triangles(model, pair, left, right, count=4, seed=seed, indexed=True)
+    scanned = find_open_triangles(model, pair, left, right, count=4, seed=seed, indexed=False)
+    assert _triangle_fingerprint(indexed) == _triangle_fingerprint(scanned)
+
+
+def _run_sequence(seed: int, store: ArtifactStore | None = None) -> None:
+    """One seeded lifecycle fuzz sequence with per-mutation equivalence checks."""
+    rng = random.Random(seed)
+    left, right = toy_sources()
+    if store is not None:
+        left.artifact_store = store
+        right.artifact_store = store
+    model = SimilarityModel()
+    counter = [0]
+    for step in range(SEQUENCE_LENGTH):
+        target, other = (left, right) if rng.random() < 0.5 else (right, left)
+        _apply_random_mutation(rng, target, counter)
+        queries = rng.sample(list(other), min(2, len(other)))
+        _assert_ranking_equivalence(target, queries)
+        _assert_blocking_equivalence(left, right)
+        pair = RecordPair(rng.choice(list(left)), rng.choice(list(right)), None)
+        _assert_triangle_equivalence(model, pair, left, right, seed=seed + step)
+
+
+@pytest.mark.parametrize("seed", range(SEQUENCE_COUNT))
+def test_mutation_sequence_keeps_indexed_paths_byte_equal(seed):
+    """Random add/update/remove sequences: indexed == scan after every mutation."""
+    _run_sequence(seed)
+
+
+class TestLifecycleEdgeCases:
+    def test_remove_then_query_excludes_the_record(self, sources):
+        left, right = sources
+        index = get_source_index(left, 2)
+        index.top_k(right.get("R0"), k=None)
+        removed = left.remove("L0")
+        assert removed.record_id == "L0"
+        result = index.top_k(right.get("R0"), k=None)
+        assert "L0" not in {record.record_id for record in result}
+        assert [r.record_id for r in result] == [
+            r.record_id for r in top_k_neighbours(right.get("R0"), list(left), k=None, indexed=False)
+        ]
+
+    def test_update_is_visible_to_the_next_query(self, sources):
+        left, right = sources
+        index = get_source_index(left, 2)
+        index.top_k(right.get("R4"), k=None)  # build before mutating
+        # Make L5 a near-duplicate of R4 (the netgear router): it must rank first.
+        left.update(make_record("L5", "netgear wireless router", "netgear dual band wireless router", "79.00"))
+        result = index.top_k(right.get("R4"), k=1)
+        assert [record.record_id for record in result] == ["L5"]
+
+    def test_interleaved_mutations_bump_version_each_time(self, sources):
+        left, _ = sources
+        before = left.data_version
+        left.add(_random_record(random.Random(0), "F0"))
+        left.update(_random_record(random.Random(1), "F0"))
+        left.remove("F0")
+        assert left.data_version == before + 3
+
+    def test_update_preserves_insertion_order(self, sources):
+        left, _ = sources
+        order_before = left.ids()
+        left.update(_random_record(random.Random(2), "L2"))
+        assert left.ids() == order_before
+
+
+class TestPersistedLifecycleFuzz:
+    """The same differential fuzz, replayed through an on-disk artifact store.
+
+    Each sequence runs twice against one store: the second replay warm-loads
+    every index state the first replay persisted, so the equivalence
+    assertions cover loaded indexes exactly as hard as built ones.
+    """
+
+    @pytest.mark.parametrize("seed", range(0, SEQUENCE_COUNT, 25))
+    def test_mutation_sequence_with_artifact_store(self, seed, tmp_path):
+        store = ArtifactStore(tmp_path / "artifacts")
+        _run_sequence(seed, store=store)
+        assert store.stats.index_saves > 0
+        _run_sequence(seed, store=store)
+        assert store.stats.index_loads > 0

@@ -83,6 +83,31 @@ class TestDatasetDirectory:
         assert loaded.name == "RENAMED"
 
 
+class TestContentHashMetadata:
+    def test_saved_metadata_records_both_hashes(self, dataset, tmp_path):
+        import json
+
+        save_dataset(dataset, tmp_path / "ds")
+        metadata = json.loads((tmp_path / "ds" / "metadata.json").read_text(encoding="utf-8"))
+        assert metadata["content_hashes"]["tableA"] == dataset.left.content_hash()
+        assert metadata["content_hashes"]["tableB"] == dataset.right.content_hash()
+
+    def test_roundtrip_verifies_cleanly(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert loaded.left.content_hash() == dataset.left.content_hash()
+        assert loaded.right.content_hash() == dataset.right.content_hash()
+
+    def test_tampered_table_b_raises(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path / "ds")
+        table = tmp_path / "ds" / "tableB.csv"
+        table.write_text(
+            table.read_text(encoding="utf-8").replace("netgear", "notgear"), encoding="utf-8"
+        )
+        with pytest.raises(DatasetError, match="content hash"):
+            load_dataset(tmp_path / "ds")
+
+
 class TestJsonl:
     def test_roundtrip(self, sources, tmp_path):
         left, _ = sources

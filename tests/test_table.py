@@ -13,6 +13,101 @@ from repro.exceptions import DatasetError, SchemaError
 from tests.helpers import LEFT_SCHEMA, make_record
 
 
+class TestLifecycleMutations:
+    def test_update_replaces_and_bumps_version(self, sources):
+        left, _ = sources
+        version = left.data_version
+        old = left.update(make_record("L2", "canon powershot mark ii", "canon camera updated", "359.0"))
+        assert old.value("name") == "canon powershot camera"
+        assert left.get("L2").value("name") == "canon powershot mark ii"
+        assert left.data_version == version + 1
+        assert len(left) == 6
+
+    def test_update_keeps_insertion_position(self, sources):
+        left, _ = sources
+        order = left.ids()
+        left.update(make_record("L3", "bose speaker revised", "bose revised", "131.0"))
+        assert left.ids() == order
+
+    def test_update_unknown_id_raises(self, sources):
+        left, _ = sources
+        with pytest.raises(DatasetError, match="unknown record id"):
+            left.update(make_record("L99", "ghost", "ghost", "0.0"))
+
+    def test_update_validates_schema(self, sources):
+        left, _ = sources
+        bad = Record(record_id="L0", values={"name": "x"}, source="U")
+        with pytest.raises(SchemaError):
+            left.update(bad)
+
+    def test_remove_returns_record_and_bumps_version(self, sources):
+        left, _ = sources
+        version = left.data_version
+        removed = left.remove("L4")
+        assert removed.record_id == "L4"
+        assert "L4" not in left
+        assert len(left) == 5
+        assert left.data_version == version + 1
+
+    def test_remove_unknown_id_raises(self, sources):
+        left, _ = sources
+        with pytest.raises(DatasetError, match="unknown record id"):
+            left.remove("L99")
+
+    def test_remove_then_add_same_id(self, sources):
+        left, _ = sources
+        left.remove("L0")
+        left.add(make_record("L0", "reborn record", "reborn", "1.0"))
+        assert left.get("L0").value("name") == "reborn record"
+
+
+class TestContentHash:
+    def test_insertion_order_does_not_matter(self, sources):
+        left, _ = sources
+        shuffled = DataSource(
+            name=left.name, schema=left.schema, records=list(reversed(left.records))
+        )
+        assert shuffled.content_hash() == left.content_hash()
+
+    def test_every_mutation_kind_changes_the_hash(self, sources):
+        left, _ = sources
+        baseline = left.content_hash()
+        left.add(make_record("L7", "new thing", "new thing description", "9.0"))
+        after_add = left.content_hash()
+        assert after_add != baseline
+        left.update(make_record("L7", "renamed thing", "new thing description", "9.0"))
+        after_update = left.content_hash()
+        assert after_update != after_add
+        left.remove("L7")
+        assert left.content_hash() == baseline  # back to the original content
+
+    def test_in_place_mutation_changes_the_hash(self, sources):
+        left, _ = sources
+        baseline = left.content_hash()
+        version = left.data_version
+        left.records[1] = make_record("L1", "swapped in place", "bypassing the api", "2.0")
+        assert left.data_version == version
+        assert left.content_hash() != baseline
+
+    def test_source_tag_is_not_content(self, sources):
+        """CSV round-trips re-tag sources; the hash must survive that."""
+        left, _ = sources
+        retagged = DataSource(
+            name=left.name,
+            schema=left.schema,
+            records=[
+                Record(record_id=r.record_id, values=dict(r.values), source="V")
+                for r in left.records
+            ],
+        )
+        assert retagged.content_hash() == left.content_hash()
+
+    def test_identical_content_hashes_equal_across_instances(self, sources):
+        left, _ = sources
+        twin = DataSource(name="other-name", schema=left.schema, records=list(left.records))
+        assert twin.content_hash() == left.content_hash()
+
+
 class TestDataSourceConstruction:
     def test_records_are_indexed_by_id(self, sources):
         left, _ = sources

@@ -63,13 +63,20 @@ class TestIndexStats:
         assert total == IndexStats(builds=1, queries=5, postings_visited=5)
 
     def test_as_dict_is_prefixed(self):
-        stats = IndexStats(builds=1, queries=2, postings_visited=3, candidates_pruned=4)
+        stats = IndexStats(builds=1, loads=5, queries=2, postings_visited=3, candidates_pruned=4)
         assert stats.as_dict() == {
             "index_builds": 1,
+            "index_loads": 5,
             "index_queries": 2,
             "index_postings_visited": 3,
             "index_candidates_pruned": 4,
         }
+
+    def test_loads_participate_in_arithmetic(self):
+        """Warm starts are accounted separately from builds in sums and deltas."""
+        total = IndexStats(builds=1, loads=2) + IndexStats(loads=3, queries=1)
+        assert total == IndexStats(builds=1, loads=5, queries=1)
+        assert (total - IndexStats(loads=4)).loads == 1
 
 
 def _scan_ranking(query, source, k, exclude_ids=(), min_token_length=DEFAULT_BLOCKING_TOKEN_LENGTH):
@@ -179,6 +186,124 @@ class TestIndexLifecycle:
         assert index.postings_visited > 0
         assert index.candidates_pruned > 0  # top-5 never materialises the whole source
         assert index.stats.as_dict()["index_queries"] == 1
+
+
+class TestContentHashInvalidation:
+    def test_in_place_record_replacement_triggers_rebuild(self, sources):
+        """Regression: a record replaced in ``source.records`` without going
+        through ``add``/``update`` bypasses ``data_version`` — the index must
+        still rebuild (content-hash validation), never serve the stale ranking."""
+        left, right = sources
+        index = get_source_index(left, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        query = right.get("R0")
+        index.top_k(query, k=None)
+        assert index.builds == 1
+        version = left.data_version
+        left.records[0] = make_record("L0", "replaced without the api", "in place mutation", "3.14")
+        assert left.data_version == version  # the counter never saw the mutation
+        indexed = index.top_k(query, k=None)
+        assert index.builds == 2
+        assert [r.record_id for r in indexed] == [
+            r.record_id for r in _scan_ranking(query, left, None)
+        ]
+
+    def test_in_place_append_triggers_rebuild(self, sources):
+        left, right = sources
+        query = right.get("R0")
+        top_k_neighbours(query, left, k=None, indexed=True)  # build
+        left.records.append(
+            make_record("L8", "sony bravia theater deluxe", "sony bravia theater black", "210.0")
+        )
+        indexed = top_k_neighbours(query, left, k=None, indexed=True)
+        scanned = _scan_ranking(query, left, None)
+        assert [r.record_id for r in indexed] == [r.record_id for r in scanned]
+        assert "L8" in {r.record_id for r in indexed}
+
+    def test_content_identical_update_skips_the_rebuild(self, sources):
+        """The hash is *more precise* than the counter: replacing a record
+        with an identical copy bumps ``data_version`` but not the content."""
+        left, right = sources
+        index = get_source_index(left, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        index.top_k(right.get("R0"), k=2)
+        original = left.get("L1")
+        left.update(make_record("L1", *[original.value(a) for a in original.attribute_names()]))
+        index.top_k(right.get("R0"), k=2)
+        assert index.builds == 1  # same content, no rebuild
+
+    def test_content_equal_revalidation_serves_live_objects(self, sources):
+        """A content-equal replacement skips the rebuild but must surface the
+        *live* record objects: a replacement can differ in identity (or source
+        tag, which is not content) and consumers compare records, not just
+        derivations."""
+        left, right = sources
+        index = get_source_index(left, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        index.top_k(right.get("R0"), k=2)
+        original = left.get("L1")
+        replacement = make_record("L1", *[original.value(a) for a in original.attribute_names()])
+        left.update(replacement)
+        served = {record.record_id: record for record in index.top_k(right.get("R0"), k=None)}
+        assert index.builds == 1  # still no rebuild...
+        assert served["L1"] is replacement  # ...but the live object is served
+
+
+class TestLoadedIndexEquivalence:
+    """Warm-loaded indexes must be indistinguishable from built ones."""
+
+    def _warm_copy(self, source, store):
+        from repro.data.indexing import _TOKEN_SET_CACHE
+
+        copy = DataSource(name=source.name, schema=source.schema, records=list(source.records))
+        copy.artifact_store = store
+        _TOKEN_SET_CACHE.clear()
+        return copy
+
+    def test_loaded_equals_built_equals_scan(self, sources, tmp_path):
+        from repro.data.artifacts import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "artifacts")
+        left, right = sources
+        left.artifact_store = store
+        built_index = get_source_index(left, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        warm_left = self._warm_copy(left, store)
+        loaded_index = get_source_index(warm_left, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        for query in right:
+            for k in (2, None):
+                built = [r.record_id for r in built_index.top_k(query, k=k)]
+                loaded = [r.record_id for r in loaded_index.top_k(query, k=k)]
+                scanned = [r.record_id for r in _scan_ranking(query, left, k)]
+                assert built == loaded == scanned
+        assert loaded_index.builds == 0 and loaded_index.loads == 1
+
+    def test_loaded_triangle_search_identical(self, similarity_model, sources, labelled_pairs, tmp_path):
+        from repro.data.artifacts import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "artifacts")
+        left, right = sources
+        left.artifact_store = store
+        right.artifact_store = store
+        built = [
+            find_open_triangles(similarity_model, pair, left, right, count=8, seed=1, indexed=True)
+            for pair in labelled_pairs[:3]
+        ]
+        warm_left = self._warm_copy(left, store)
+        warm_right = self._warm_copy(right, store)
+        for pair, reference in zip(labelled_pairs[:3], built):
+            loaded = find_open_triangles(
+                similarity_model, pair, warm_left, warm_right, count=8, seed=1, indexed=True
+            )
+            scanned = find_open_triangles(
+                similarity_model, pair, warm_left, warm_right, count=8, seed=1, indexed=False
+            )
+            assert (
+                _triangle_fingerprint(loaded)
+                == _triangle_fingerprint(reference)
+                == _triangle_fingerprint(scanned)
+            )
+        loaded_stats = (
+            get_source_index(warm_left, DEFAULT_BLOCKING_TOKEN_LENGTH).stats
+            + get_source_index(warm_right, DEFAULT_BLOCKING_TOKEN_LENGTH).stats
+        )
+        assert loaded_stats.builds == 0 and loaded_stats.loads == 2
 
 
 class TestBlockingEquivalence:
