@@ -30,6 +30,14 @@ never to silent reuse and never to an exception.  Saves are atomic
 (temp file + ``os.replace``) so a killed process cannot leave a partially
 written artifact behind.
 
+Incremental maintenance composes with persistence through the key alone: a
+:class:`~repro.data.indexing.SourceTokenIndex` that absorbed mutations by
+delta replay re-persists its *canonical* post-mutation state under the new
+content hash (``SourceTokenIndex.save``), and artifacts keyed by superseded
+hashes simply never match a live source again — persisted indexes therefore
+either reflect replayed deltas exactly or invalidate cleanly, with no
+artifact-side delta format to version.
+
 The store is configured explicitly (``DataSource.artifact_store``,
 ``ModelCache(artifact_store=...)``, ``ExperimentHarness(artifact_store=...)``)
 or process-wide through the ``REPRO_ARTIFACT_DIR`` environment variable
@@ -53,7 +61,11 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports (no cycle at run
     from repro.data.dataset import ERDataset
 
 #: Bump to invalidate every artifact on disk (layout or derivation change).
-ARTIFACT_SCHEMA_VERSION = 1
+#: 2: ``DataSource.content_hash`` moved to the order-insensitive additive
+#: per-record-digest formula (``CONTENT_HASH_VERSION`` 2), so every
+#: content-hash-keyed artifact from version 1 is addressed by a formula no
+#: live source will ever produce again.
+ARTIFACT_SCHEMA_VERSION = 2
 
 #: Environment variable naming the process-wide artifact directory.
 ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"

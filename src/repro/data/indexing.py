@@ -25,11 +25,17 @@ it.  On top of that it answers:
   index records and ad-hoc query records.
 
 Indexes are built lazily, cached on the :class:`~repro.data.table.DataSource`
-instance per ``min_token_length`` (:func:`get_source_index`), and invalidated
-by **content**: each build records the source's
-:meth:`~repro.data.table.DataSource.content_hash`, and any change to the
-records — through the mutation API *or* by replacing entries of
-``source.records`` in place — makes the next query rebuild transparently.
+instance per ``min_token_length`` (:func:`get_source_index`), and maintained
+**incrementally**: each build records the source's ``data_version`` and
+:meth:`~repro.data.table.DataSource.content_hash`, and on the next query
+after a mutation the index consumes the source's bounded delta log
+(:meth:`~repro.data.table.DataSource.deltas_since`) and applies the
+record-level add/update/remove deltas directly to its posting lists — a
+single-record mutation costs work proportional to that record's tokens, not
+to the source.  A full rebuild happens only when the log was truncated past
+the index's version, when replay detects any inconsistency, or when the
+content hash disagrees after replay (e.g. records were *also* replaced in
+place, bypassing the mutation API, the counter and the log).
 (``data_version`` remains a cheap fast-path hint; the hash is the authority.)
 Builds consult the source's :class:`~repro.data.artifacts.ArtifactStore`
 (explicitly attached or the process-wide ``REPRO_ARTIFACT_DIR`` store): a
@@ -57,9 +63,9 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.data.artifacts import ArtifactStore, default_store
-from repro.data.blocking import token_jaccard
-from repro.data.records import Record
-from repro.data.table import DataSource
+from repro.data.blocking import DEFAULT_BLOCKING_TOKEN_LENGTH
+from repro.data.records import Record, RecordPair
+from repro.data.table import DataSource, SourceDelta, combine_content_hash
 from repro.text.tokenize import tokenize
 
 #: Interned blocking-token sets keyed by (record content text, min length).
@@ -97,6 +103,11 @@ class IndexStats:
     ``loads``
         Index installs served from an :class:`~repro.data.artifacts.
         ArtifactStore` instead of being rebuilt.
+    ``delta_applies``
+        Record-level mutations applied incrementally to the posting lists
+        (one per consumed :class:`~repro.data.table.SourceDelta`); a
+        mutation that instead triggered a rebuild counts under ``builds``,
+        never here.
     ``queries``
         Top-k queries plus whole-index traversals (one per blocking pass).
     ``postings_visited``
@@ -109,6 +120,7 @@ class IndexStats:
 
     builds: int = 0
     loads: int = 0
+    delta_applies: int = 0
     queries: int = 0
     postings_visited: int = 0
     candidates_pruned: int = 0
@@ -118,6 +130,7 @@ class IndexStats:
         return IndexStats(
             builds=self.builds - other.builds,
             loads=self.loads - other.loads,
+            delta_applies=self.delta_applies - other.delta_applies,
             queries=self.queries - other.queries,
             postings_visited=self.postings_visited - other.postings_visited,
             candidates_pruned=self.candidates_pruned - other.candidates_pruned,
@@ -128,6 +141,7 @@ class IndexStats:
         return IndexStats(
             builds=self.builds + other.builds,
             loads=self.loads + other.loads,
+            delta_applies=self.delta_applies + other.delta_applies,
             queries=self.queries + other.queries,
             postings_visited=self.postings_visited + other.postings_visited,
             candidates_pruned=self.candidates_pruned + other.candidates_pruned,
@@ -138,20 +152,35 @@ class IndexStats:
         return {
             "index_builds": self.builds,
             "index_loads": self.loads,
+            "index_delta_applies": self.delta_applies,
             "index_queries": self.queries,
             "index_postings_visited": self.postings_visited,
             "index_candidates_pruned": self.candidates_pruned,
         }
 
 
+class _DeltaReplayError(Exception):
+    """Raised when a delta cannot be applied consistently (forces a rebuild)."""
+
+
 class SourceTokenIndex:
     """Inverted blocking-token index over one :class:`DataSource`.
 
-    Records are held in ``record_id`` order — the canonical order every scan
-    ranking uses for tie-breaks and shuffles — and each posting list stores
-    positions into that order.  The index rebuilds itself when the source's
-    ``data_version`` moves, so one long-lived index per source serves every
-    pair of a sweep.
+    Records are addressed by **slot**: a stable small integer assigned when a
+    record enters the index and never reused while it lives, so posting lists
+    survive insertions and removals untouched except where the mutated
+    record's own tokens point.  Three parallel id-sorted arrays (``_ids`` /
+    ``_id_slots`` / ``_records``) keep the canonical ``record_id`` order —
+    the order every scan ranking uses for tie-breaks and zero-overlap fill —
+    available as before.  Removed records leave tombstone slots behind;
+    once tombstones outnumber live records the next maintenance pass compacts
+    by rebuilding (cheap: token sets are content-interned).
+
+    Mutations reach the index through the source's delta log (see
+    :meth:`ensure_fresh`); replay is verified by predicting the post-replay
+    content hash (:func:`repro.data.table.combine_content_hash`) and
+    comparing it against the live source's hash, so a divergence between log
+    and records can never serve stale candidates.
 
     Thread-safety matches the library's other caches: concurrent readers may
     duplicate a deterministic rebuild but never corrupt state.
@@ -162,18 +191,25 @@ class SourceTokenIndex:
         self.min_token_length = min_token_length
         self.builds = 0
         self.loads = 0
+        self.delta_applies = 0
         self.queries = 0
         self.postings_visited = 0
         self.candidates_pruned = 0
         self._built_hash: str | None = None
+        self._built_version: int | None = None
         #: Shallow snapshot of ``source.records`` at validation time.  Holding
         #: the references keeps the objects alive, so identity comparison
         #: against the live list is a sound (and C-speed) freshness fast path.
         self._snapshot: list[Record] | None = None
+        # Slot-addressed stores (tombstoned on removal):
+        self._slots: list[Record | None] = []
+        self._slot_tokens: list[frozenset[str]] = []
+        self._postings: dict[str, list[int]] = {}
+        self._tombstones = 0
+        # Canonical id-order views (parallel arrays, maintained by bisect):
         self._records: list[Record] = []
         self._ids: list[str] = []
-        self._token_sets: list[frozenset[str]] = []
-        self._postings: dict[str, list[int]] = {}
+        self._id_slots: list[int] = []
 
     @property
     def stats(self) -> IndexStats:
@@ -181,6 +217,7 @@ class SourceTokenIndex:
         return IndexStats(
             builds=self.builds,
             loads=self.loads,
+            delta_applies=self.delta_applies,
             queries=self.queries,
             postings_visited=self.postings_visited,
             candidates_pruned=self.candidates_pruned,
@@ -226,8 +263,12 @@ class SourceTokenIndex:
                     postings.setdefault(token, []).append(position)
         self._records = records
         self._ids = ids
-        self._token_sets = token_sets
+        # Freshly built, slots coincide with id-order positions.
+        self._slots = list(records)
+        self._slot_tokens = list(token_sets)
+        self._id_slots = list(range(len(records)))
         self._postings = postings
+        self._tombstones = 0
         self._built_hash = content_hash
         if loaded:
             self.loads += 1
@@ -266,14 +307,36 @@ class SourceTokenIndex:
                 return None
         return [frozenset(line.split(" ")) if line else frozenset() for line in token_lines]
 
+    def canonical_state(self) -> tuple[list[str], list[frozenset[str]], dict[str, list[int]]]:
+        """The index content in build-canonical form: ``(ids, token_sets, postings)``.
+
+        ``ids`` sorted, ``token_sets`` aligned to that order, posting lists
+        holding sorted *positions* into it — exactly what a fresh
+        :meth:`_build` over the same records produces, independent of the
+        slot assignments accumulated by incremental maintenance.  This is
+        what persists to the artifact store (so a replayed index saves the
+        same artifact a rebuilt one would) and what the differential fuzz
+        suite compares against rebuild-from-scratch.
+        """
+        slot_positions = {slot: position for position, slot in enumerate(self._id_slots)}
+        postings = {
+            token: sorted(slot_positions[slot] for slot in slots)
+            for token, slots in self._postings.items()
+        }
+        token_sets = [self._slot_tokens[slot] for slot in self._id_slots]
+        return list(self._ids), token_sets, postings
+
     def save(self, store: ArtifactStore | None = None) -> None:
-        """Persist the current index state (building it first if needed).
+        """Persist the current index state (building or replaying first if needed).
 
         Builds that happen with a store attached persist automatically; this
         explicit hook covers an index built *before* the store existed — the
-        dataset-generation path — which :func:`repro.data.io.save_dataset`
-        persists alongside the data.  Re-saving an artifact that is already
-        on disk for this content is skipped.
+        dataset-generation path, which :func:`repro.data.io.save_dataset`
+        persists alongside the data — and an index maintained incrementally
+        since its last build (replayed deltas change ``content_hash``, so
+        the post-mutation state lands under a fresh key; artifacts for
+        superseded hashes simply never load again).  Re-saving an artifact
+        that is already on disk for this content is skipped.
         """
         store = store if store is not None else self._artifact_store()
         if store is None:
@@ -282,18 +345,19 @@ class SourceTokenIndex:
         content_hash = self._built_hash
         if content_hash is None or store.index_path(content_hash, self.min_token_length).exists():
             return
+        ids, token_sets, postings = self.canonical_state()
         store.save_source_index(
             self.source.name, content_hash, self.min_token_length,
-            self._ids, self._token_sets, self._postings,
+            ids, token_sets, postings,
         )
 
     def ensure_fresh(self) -> None:
-        """Rebuild (or warm-load) when the source content moved since the last build.
+        """Apply pending deltas (or rebuild) when the source moved since last time.
 
         Freshness is judged by **content**, never by ``data_version`` alone:
         replacing records in place never bumps the counter, but it does
         change the records list, which closes the stale-index window the
-        counter left open.  Two layers keep the per-query cost negligible:
+        counter left open.  Maintenance layers, cheapest first:
 
         1. *identity fast path* — if the live ``source.records`` holds the
            exact same objects, in the same order, as the snapshot taken at
@@ -301,11 +365,18 @@ class SourceTokenIndex:
            immutable by convention — the same convention the content hash
            itself relies on when it caches per-record digests).  This is one
            C-speed ``is`` sweep.
-        2. *content hash* — on any identity difference the source's full
-           content hash decides: unchanged content (e.g. a reorder, or an
-           ``update`` writing identical values) revalidates without a
-           rebuild; changed content rebuilds or warm-loads from the artifact
-           store.
+        2. *delta replay* — mutations journalled by the source since the
+           index's version are applied record-by-record to the posting
+           lists.  The replayed state's content hash is predicted additively
+           (:func:`~repro.data.table.combine_content_hash`) and compared to
+           the live source's hash: any disagreement — a truncated log, an
+           in-place mutation alongside API mutations, a log/record skew of
+           any origin — falls back to a full rebuild, so incremental
+           maintenance can be *wrong* only in cost, never in content.
+        3. *content hash* — with no replayable deltas (truncated log, pure
+           in-place change, or a reorder) the source's full content hash
+           decides: unchanged content revalidates without a rebuild; changed
+           content rebuilds or warm-loads from the artifact store.
         """
         records_list = self.source.records
         if (
@@ -314,17 +385,139 @@ class SourceTokenIndex:
             and all(map(operator.is_, records_list, self._snapshot))
         ):
             return
-        content_hash = self.source.content_hash()
-        if self._built_hash != content_hash:
-            self._build(content_hash)
+        if self._built_hash is None or self._built_version is None:
+            self._build(self.source.content_hash())
         else:
-            # Content-equal revalidation (reorder, or an update writing equal
-            # values): the derivations stay valid, but serve the *live*
-            # record objects — a content-equal replacement may still differ
-            # in identity or source tag, and consumers compare records, not
-            # just derivations.
-            self._records = sorted(records_list, key=lambda record: record.record_id)
+            deltas = self._pending_deltas()
+            if deltas:
+                replayed_hash = self._replay(deltas)
+                live_hash = self.source.content_hash()
+                if replayed_hash != live_hash or self._tombstones > max(
+                    64, len(self._ids)
+                ):
+                    # Divergence (stale-serving risk) or tombstone bloat
+                    # (cost risk): both compact into one clean rebuild.
+                    self._build(live_hash)
+                else:
+                    self._built_hash = live_hash
+            else:
+                content_hash = self.source.content_hash()
+                if self._built_hash != content_hash:
+                    self._build(content_hash)
+                else:
+                    # Content-equal revalidation (reorder, or an in-place swap
+                    # writing equal values): the derivations stay valid, but
+                    # serve the *live* record objects — a content-equal
+                    # replacement may still differ in identity or source tag,
+                    # and consumers compare records, not just derivations.
+                    self._refresh_live_records(records_list)
         self._snapshot = list(records_list)
+        self._built_version = getattr(self.source, "data_version", None)
+
+    def _pending_deltas(self) -> list[SourceDelta] | None:
+        """Replayable mutations since the index's version (``None`` = rebuild)."""
+        deltas_since = getattr(self.source, "deltas_since", None)
+        if deltas_since is None:
+            return None
+        return deltas_since(self._built_version)
+
+    def _replay(self, deltas: list[SourceDelta]) -> str | None:
+        """Apply ``deltas`` to the slot stores; the predicted post-replay hash.
+
+        Returns ``None`` when any delta is inconsistent with the indexed
+        state (the caller rebuilds, which also repairs any partial
+        application).  On success the predicted hash is computed additively
+        from the built hash and the deltas' record digests — O(deltas), not
+        O(records).
+        """
+        try:
+            for delta in deltas:
+                self._apply_delta(delta)
+        except _DeltaReplayError:
+            return None
+        self.delta_applies += len(deltas)
+        return combine_content_hash(
+            self._built_hash,
+            removed=[delta.old for delta in deltas if delta.old is not None],
+            added=[delta.new for delta in deltas if delta.new is not None],
+        )
+
+    def _apply_delta(self, delta: SourceDelta) -> None:
+        if delta.op == "add" and delta.new is not None:
+            self._insert_record(delta.new)
+        elif delta.op == "remove" and delta.old is not None:
+            self._delete_record(delta.old)
+        elif delta.op == "update" and delta.old is not None and delta.new is not None:
+            self._replace_record(delta.old, delta.new)
+        else:
+            raise _DeltaReplayError(f"malformed delta {delta.op!r}")
+
+    def _insert_record(self, record: Record) -> None:
+        position = bisect.bisect_left(self._ids, record.record_id)
+        if position < len(self._ids) and self._ids[position] == record.record_id:
+            raise _DeltaReplayError(f"duplicate id {record.record_id!r} in replay")
+        slot = len(self._slots)
+        tokens = interned_blocking_tokens(record, self.min_token_length)
+        self._slots.append(record)
+        self._slot_tokens.append(tokens)
+        self._ids.insert(position, record.record_id)
+        self._id_slots.insert(position, slot)
+        self._records.insert(position, record)
+        for token in tokens:
+            # The new slot is the largest ever issued, so insort appends.
+            bisect.insort(self._postings.setdefault(token, []), slot)
+
+    def _delete_record(self, old: Record) -> None:
+        position = bisect.bisect_left(self._ids, old.record_id)
+        if position == len(self._ids) or self._ids[position] != old.record_id:
+            raise _DeltaReplayError(f"unknown id {old.record_id!r} in replay")
+        slot = self._id_slots[position]
+        self._remove_slot_postings(slot)
+        del self._ids[position]
+        del self._id_slots[position]
+        del self._records[position]
+        self._slots[slot] = None
+        self._slot_tokens[slot] = frozenset()
+        self._tombstones += 1
+
+    def _replace_record(self, old: Record, new: Record) -> None:
+        position = bisect.bisect_left(self._ids, new.record_id)
+        if position == len(self._ids) or self._ids[position] != new.record_id:
+            raise _DeltaReplayError(f"unknown id {new.record_id!r} in replay")
+        slot = self._id_slots[position]
+        if self._slots[slot] is not old and self._slots[slot] != old:
+            raise _DeltaReplayError(f"replay base mismatch for id {new.record_id!r}")
+        old_tokens = self._slot_tokens[slot]
+        new_tokens = interned_blocking_tokens(new, self.min_token_length)
+        for token in old_tokens - new_tokens:
+            self._remove_posting(token, slot)
+        for token in new_tokens - old_tokens:
+            bisect.insort(self._postings.setdefault(token, []), slot)
+        self._slots[slot] = new
+        self._slot_tokens[slot] = new_tokens
+        self._records[position] = new
+
+    def _remove_slot_postings(self, slot: int) -> None:
+        for token in self._slot_tokens[slot]:
+            self._remove_posting(token, slot)
+
+    def _remove_posting(self, token: str, slot: int) -> None:
+        slots = self._postings.get(token)
+        if not slots:
+            raise _DeltaReplayError(f"posting list for {token!r} missing in replay")
+        index = bisect.bisect_left(slots, slot)
+        if index == len(slots) or slots[index] != slot:
+            raise _DeltaReplayError(f"slot {slot} not posted under {token!r}")
+        del slots[index]
+        if not slots:
+            del self._postings[token]
+
+    def _refresh_live_records(self, records_list: list[Record]) -> None:
+        """Serve live record objects after a content-equal identity change."""
+        live_sorted = sorted(records_list, key=lambda record: record.record_id)
+        self._records = live_sorted
+        for position, record in enumerate(live_sorted):
+            self._slots[self._id_slots[position]] = record
 
     # ---------------------------------------------------------------- reading
 
@@ -342,7 +535,7 @@ class SourceTokenIndex:
         """The interned blocking-token set of an index record."""
         self.ensure_fresh()
         position = self._position(record_id)
-        return self._token_sets[position]
+        return self._slot_tokens[self._id_slots[position]]
 
     def query_tokens(self, query: Record) -> frozenset[str]:
         """The interned blocking-token set of an arbitrary (query) record."""
@@ -355,9 +548,9 @@ class SourceTokenIndex:
         """
         self.ensure_fresh()
         self.queries += 1
-        for token, positions in self._postings.items():
-            self.postings_visited += len(positions)
-            yield token, [self._ids[position] for position in positions]
+        for token, slots in self._postings.items():
+            self.postings_visited += len(slots)
+            yield token, [self._slots[slot].record_id for slot in slots]
 
     def document_frequency(self, token: str) -> int:
         """Number of records containing ``token``."""
@@ -392,7 +585,14 @@ class SourceTokenIndex:
         After ``i`` of ``|Q|`` tokens, a record sharing none of the processed
         tokens has Jaccard at most ``(|Q| - i) / |Q|``; once the k-th best
         *exact* score strictly beats that bound, no unseen record can enter
-        the result and the remaining posting lists are skipped.
+        the result and the remaining posting lists are skipped.  The same
+        reasoning prunes *per candidate*: a record first seen at token ``i``
+        shares none of tokens ``0..i-1``, so its Jaccard is at most
+        ``(|Q| - i) / (|T| + i)`` — when that bound is strictly below the
+        k-th best exact score, the record is marked seen without ever being
+        scored.  (Float rounding is monotone, so the computed bound dominates
+        the computed exact score and the skip can never drop a tie-breaking
+        candidate — results stay byte-identical to the scan.)
         """
         self.ensure_fresh()
         self.queries += 1
@@ -406,48 +606,67 @@ class SourceTokenIndex:
             self.candidates_pruned += len(self._records)
             return []
 
+        postings = self._postings
+        slots_store = self._slots
+        slot_tokens = self._slot_tokens
         # Rarest tokens first; ties broken by token text for determinism.
-        ordered = sorted(
-            query_set, key=lambda token: (len(self._postings.get(token, ())), token)
-        )
-        scores: dict[int, float] = {}
+        ordered = sorted(query_set, key=lambda token: (len(postings.get(token, ())), token))
+        scores: dict[int, float] = {}  # slot -> exact score
         heap: list[float] = []  # min-heap of the current top-`wanted` exact scores
+        threshold = -1.0  # heap[0] once the heap is full, else no pruning
         for processed, token in enumerate(ordered):
-            if len(heap) >= wanted and heap[0] * total > (total - processed):
+            remaining = total - processed
+            if threshold * total > remaining:
                 # The k-th best exact score strictly beats the best score any
                 # record outside `scores` can still reach: stop traversing.
                 break
-            for position in self._postings.get(token, ()):
-                self.postings_visited += 1
-                if position in scores:
+            slot_list = postings.get(token, ())
+            self.postings_visited += len(slot_list)
+            for slot in slot_list:
+                if slot in scores:
                     continue
-                if self._ids[position] in excluded:
-                    scores[position] = -1.0  # seen, but never ranked
+                if excluded and slots_store[slot].record_id in excluded:
+                    scores[slot] = -1.0  # seen, but never ranked
                     continue
-                score = token_jaccard(query_set, self._token_sets[position])
-                scores[position] = score
+                token_set = slot_tokens[slot]
+                size = len(token_set)
+                if remaining / (size + processed) < threshold:
+                    # Even full overlap with every unprocessed query token
+                    # leaves this record strictly below the k-th best score.
+                    scores[slot] = -1.0
+                    continue
+                # Inline token_jaccard (both sets are provably non-empty here:
+                # the token came from query_set, the slot from its postings).
+                overlap = len(query_set & token_set)
+                score = overlap / (total + size - overlap)
+                scores[slot] = score
                 if len(heap) < wanted:
                     heapq.heappush(heap, score)
-                elif score > heap[0]:
+                    if len(heap) == wanted:
+                        threshold = heap[0]
+                elif score > threshold:
                     heapq.heapreplace(heap, score)
+                    threshold = heap[0]
 
-        ranked = sorted(
+        ranked = heapq.nsmallest(
+            wanted,
             (
-                (-score, self._ids[position], position)
-                for position, score in scores.items()
+                (-score, slots_store[slot].record_id, slot)
+                for slot, score in scores.items()
                 if score >= 0.0
             ),
         )
-        result = [self._records[position] for _, __, position in ranked[:wanted]]
+        result = [slots_store[slot] for _, __, slot in ranked]
 
         # Zero-overlap fill: the scan reference ranks every candidate, so
         # records sharing no token still appear (score 0.0) in id order.
         if len(result) < wanted:
             for position, record_id in enumerate(self._ids):
-                if position in scores or record_id in excluded:
+                slot = self._id_slots[position]
+                if slot in scores or record_id in excluded:
                     continue
                 result.append(self._records[position])
-                scores[position] = 0.0
+                scores[slot] = 0.0
                 if len(result) >= wanted:
                     break
         self.candidates_pruned += len(self._records) - len(scores)
@@ -460,6 +679,86 @@ class SourceTokenIndex:
             return False
         return True
 
+    # ---------------------------------------------------------- change tracking
+
+    def ids_sharing_tokens(self, tokens: Iterable[str]) -> set[str]:
+        """Ids of indexed records containing any of ``tokens`` (one postings pass).
+
+        The primitive behind :func:`changed_pairs`: records sharing a
+        blocking token with a mutated record are exactly the ones whose
+        positive-overlap ranking against that record's source could have
+        moved.  Counted as one query; postings visited covers every posting
+        read.
+        """
+        self.ensure_fresh()
+        self.queries += 1
+        found: set[str] = set()
+        for token in tokens:
+            slots = self._postings.get(token, ())
+            self.postings_visited += len(slots)
+            for slot in slots:
+                found.add(self._slots[slot].record_id)
+        return found
+
+
+def changed_pairs(
+    pairs: Iterable[RecordPair | tuple[str, str]],
+    left: DataSource,
+    right: DataSource,
+    left_since: int,
+    right_since: int,
+    min_token_length: int = DEFAULT_BLOCKING_TOKEN_LENGTH,
+) -> set[tuple[str, str]] | None:
+    """The subset of ``pairs`` whose support neighbourhoods were touched.
+
+    For a monitoring workload holding explanations of ``pairs`` (record-id
+    tuples or :class:`~repro.data.records.RecordPair` objects) computed when
+    the sources stood at ``data_version`` ``left_since`` / ``right_since``:
+    a pair is returned when either member was itself added/updated/removed,
+    or when a member shares at least one blocking token with the old or new
+    content of any mutated record (of either source) — the condition for the
+    member's *positive-overlap* support ranking against the mutated source
+    to change.  Pairs not returned kept every support candidate that shares
+    content with them, in the same order, so re-explaining only the returned
+    pairs reproduces a full re-explanation wherever token overlap drives
+    support selection (zero-overlap fill-tail reshuffles below the last
+    scored candidate are deliberately out of scope).
+
+    Touched members are resolved through each source's shared
+    :class:`SourceTokenIndex` postings — one lookup per mutated token, never
+    a scan.  Returns ``None`` when either source's bounded delta log no
+    longer reaches back to the given version: the caller must re-explain
+    everything (exactly as it would after a full rebuild).
+    """
+    left_deltas = left.deltas_since(left_since)
+    right_deltas = right.deltas_since(right_since)
+    if left_deltas is None or right_deltas is None:
+        return None
+    pair_ids = [
+        pair.pair_id if isinstance(pair, RecordPair) else (str(pair[0]), str(pair[1]))
+        for pair in pairs
+    ]
+    if not (left_deltas or right_deltas):
+        return set()
+    mutated_left: set[str] = set()
+    mutated_right: set[str] = set()
+    tokens: set[str] = set()
+    for deltas, mutated in ((left_deltas, mutated_left), (right_deltas, mutated_right)):
+        for delta in deltas:
+            for record in (delta.old, delta.new):
+                if record is not None:
+                    mutated.add(record.record_id)
+                    tokens |= interned_blocking_tokens(record, min_token_length)
+    touched_left = get_source_index(left, min_token_length).ids_sharing_tokens(tokens)
+    touched_left |= mutated_left
+    touched_right = get_source_index(right, min_token_length).ids_sharing_tokens(tokens)
+    touched_right |= mutated_right
+    return {
+        (left_id, right_id)
+        for left_id, right_id in pair_ids
+        if left_id in touched_left or right_id in touched_right
+    }
+
 
 def get_source_index(source: DataSource, min_token_length: int) -> SourceTokenIndex:
     """The shared :class:`SourceTokenIndex` of ``source`` for ``min_token_length``.
@@ -467,7 +766,10 @@ def get_source_index(source: DataSource, min_token_length: int) -> SourceTokenIn
     One index per (source instance, min length) is cached on the source object
     itself, so every caller in a sweep — triangle search, blocking, candidate
     generation — shares builds and stats.  Staleness is handled inside the
-    index via the source's ``data_version``.
+    index (delta replay, content-hash fallback); the stash itself is excluded
+    from pickling and deepcopy by ``DataSource.__getstate__``, so clones and
+    sweep-runner worker processes start index-less instead of resurrecting a
+    heavy (and potentially stale) snapshot.
     """
     indexes: dict[int, SourceTokenIndex] | None = getattr(source, "_token_indexes", None)
     if indexes is None:

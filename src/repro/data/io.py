@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.data.dataset import ERDataset, PairSplit
 from repro.data.records import Record, RecordPair, Schema, pairs_from_ids
-from repro.data.table import DataSource
+from repro.data.table import CONTENT_HASH_VERSION, DataSource
 from repro.exceptions import DatasetError
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
@@ -127,6 +127,7 @@ def save_dataset(
             "tableA": dataset.left.content_hash(),
             "tableB": dataset.right.content_hash(),
         },
+        "hash_version": CONTENT_HASH_VERSION,
     }
     (directory / "metadata.json").write_text(json.dumps(metadata, indent=2), encoding="utf-8")
     if artifact_store is not None:
@@ -151,8 +152,11 @@ def load_dataset(
     :func:`save_dataset`), the loaded tables are verified against them and a
     mismatch raises :class:`~repro.exceptions.DatasetError` — corrupted or
     hand-edited tables never flow silently into experiments (delete
-    ``metadata.json`` to load intentionally edited data).  ``artifact_store``
-    is attached to both sources so derived structures warm-load from disk.
+    ``metadata.json`` to load intentionally edited data).  Hashes recorded
+    under a different ``hash_version`` (an older library release) cannot be
+    compared and are skipped rather than misreported as corruption.
+    ``artifact_store`` is attached to both sources so derived structures
+    warm-load from disk.
     """
     directory = Path(directory)
     metadata_path = directory / "metadata.json"
@@ -163,13 +167,19 @@ def load_dataset(
     left = read_source_csv(directory / "tableA.csv", name=f"{dataset_name}-left", source_tag="U")
     right = read_source_csv(directory / "tableB.csv", name=f"{dataset_name}-right", source_tag="V")
     expected_hashes = metadata.get("content_hashes") or {}
-    for table, source in (("tableA", left), ("tableB", right)):
-        expected = expected_hashes.get(table)
-        if expected is not None and source.content_hash() != expected:
-            raise DatasetError(
-                f"{table}.csv in {directory} does not match the content hash recorded at "
-                f"save time; the file was modified or corrupted after save_dataset"
-            )
+    # A dataset saved under a different hash formula cannot be verified — its
+    # recorded hashes would mismatch every honestly-loaded table.  Skip the
+    # check rather than misreport formula skew as corruption.  (Datasets from
+    # before the formula was versioned recorded no "hash_version"; treat them
+    # as version 1.)
+    if metadata.get("hash_version", 1 if expected_hashes else None) == CONTENT_HASH_VERSION:
+        for table, source in (("tableA", left), ("tableB", right)):
+            expected = expected_hashes.get(table)
+            if expected is not None and source.content_hash() != expected:
+                raise DatasetError(
+                    f"{table}.csv in {directory} does not match the content hash recorded at "
+                    f"save time; the file was modified or corrupted after save_dataset"
+                )
     if artifact_store is not None:
         left.artifact_store = artifact_store
         right.artifact_store = artifact_store

@@ -4,12 +4,30 @@ A :class:`DataSource` corresponds to one of the two tables (``U`` or ``V``)
 that an ER task compares.  CERTA's open-triangle search iterates over a data
 source to find support records, so the class offers fast lookup by id and
 simple sampling utilities in addition to plain iteration.
+
+Mutations (:meth:`DataSource.add` / :meth:`~DataSource.update` /
+:meth:`~DataSource.remove`) are journalled into a bounded **delta log** of
+:class:`SourceDelta` entries.  Derived structures — the inverted token index
+of :mod:`repro.data.indexing`, the featurisation caches of
+:mod:`repro.models.featurizer` — consume the log through
+:meth:`~DataSource.deltas_since` to maintain themselves incrementally instead
+of rebuilding from scratch on every mutation; when the log has been truncated
+past the version a consumer saw last, :meth:`~DataSource.deltas_since`
+returns ``None`` and the consumer falls back to a full rebuild.  The content
+hash stays the correctness authority throughout: it is additive over
+per-record digests, so the mutation API maintains it in O(1), while an
+identity check against a snapshot of ``records`` guarantees that in-place
+mutations (which bypass the API, the counter *and* the log) still force a
+full recompute.
 """
 
 from __future__ import annotations
 
 import hashlib
+import operator
 import random
+from collections import Counter, deque
+from itertools import islice
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
@@ -19,6 +37,91 @@ from repro.exceptions import DatasetError, SchemaError
 if TYPE_CHECKING:  # pragma: no cover - annotation only (artifacts never imports us)
     from repro.data.artifacts import ArtifactStore
 
+#: Version of the content-hash formula.  Recorded by
+#: :func:`repro.data.io.save_dataset` so a dataset saved under an older
+#: formula is reloaded without integrity verification instead of being
+#: misreported as tampered with.  Bump together with
+#: :data:`repro.data.artifacts.ARTIFACT_SCHEMA_VERSION` whenever the formula
+#: changes.
+CONTENT_HASH_VERSION = 2
+
+#: Default bound on the per-source delta log.  Large enough that every
+#: freshness check between two consecutive queries of a streaming workload
+#: sees its deltas; small enough that a source mutated thousands of times
+#: between queries falls back to one clean rebuild instead of replaying a
+#: mutation history that costs more than the rebuild.
+DEFAULT_DELTA_LOG_LIMIT = 256
+
+#: The additive content hash lives in Z / 2^256.
+_HASH_MODULUS = 1 << 256
+
+#: Salt folded in once per record so sources differing only in record *count*
+#: (e.g. one empty record vs none) can never collide through the plain sum.
+_COUNT_SALT = int(hashlib.sha256(b"repro-datasource-record-count").hexdigest(), 16)
+
+
+def _schema_hash_int(schema: Schema) -> int:
+    digest = hashlib.sha256("|".join(schema.attributes).encode("utf-8"))
+    return int(digest.hexdigest(), 16)
+
+
+def _record_hash_int(record: Record) -> int:
+    return (int(record.content_digest(), 16) + _COUNT_SALT) % _HASH_MODULUS
+
+
+def combine_content_hash(
+    hash_hex: str, removed: Iterable[Record], added: Iterable[Record]
+) -> str:
+    """Apply record-level deltas to an additive content hash in O(deltas).
+
+    The content hash is a sum of per-record digests (mod 2^256), so removing
+    and adding records translates to subtracting and adding their digest
+    terms — no pass over the unchanged records.  Used by
+    :class:`~repro.data.indexing.SourceTokenIndex` to predict the
+    post-replay hash of its own record set and compare it against the live
+    source's hash; a disagreement means the delta log and the records have
+    diverged and the index must rebuild.
+    """
+    total = int(hash_hex, 16)
+    for record in removed:
+        total -= _record_hash_int(record)
+    for record in added:
+        total += _record_hash_int(record)
+    return format(total % _HASH_MODULUS, "064x")
+
+
+def _record_strings(record: Record) -> tuple[str, ...]:
+    """The value strings a record pins in content-addressed caches.
+
+    Covers every non-missing attribute value plus the record's full text
+    (the key of record-level embedding interning).  Pair-level derivations
+    (serialised pair texts, perturbed variants) are workload-transient and
+    not tracked — the featurizer's generation bound covers those.
+    """
+    values = [value for value in record.values.values() if value]
+    values.append(record.as_text())
+    return tuple(values)
+
+
+@dataclass(frozen=True)
+class SourceDelta:
+    """One journalled mutation of a :class:`DataSource`.
+
+    ``version`` is the ``data_version`` *after* the mutation, so replaying
+    every delta with ``version > v`` on top of a structure built at version
+    ``v`` reproduces the current state.  ``old`` / ``new`` are ``None`` for
+    ``add`` / ``remove`` respectively.  ``retired_values`` lists the value
+    strings of ``old`` that no longer occur in *any* record of the source
+    after the mutation — the exact entries a content-addressed cache may
+    drop without losing anything still reachable.
+    """
+
+    version: int
+    op: str  # "add" | "update" | "remove"
+    old: Record | None
+    new: Record | None
+    retired_values: tuple[str, ...] = ()
+
 
 @dataclass
 class DataSource:
@@ -27,6 +130,7 @@ class DataSource:
     name: str
     schema: Schema
     records: list[Record] = field(default_factory=list)
+    delta_log_limit: int = DEFAULT_DELTA_LOG_LIMIT
 
     def __post_init__(self) -> None:
         self._by_id: dict[str, Record] = {}
@@ -35,9 +139,25 @@ class DataSource:
         #: token index of :mod:`repro.data.indexing` warm-loads through it).
         #: ``None`` falls back to :func:`repro.data.artifacts.default_store`.
         self.artifact_store: "ArtifactStore | None" = None
-        for record in self.records:
+        #: Journalled mutations, oldest first (bounded by ``delta_log_limit``).
+        self._delta_log: deque[SourceDelta] = deque()
+        #: value string -> number of records referencing it (see
+        #: :func:`_record_strings`); drives ``retired_values`` accounting.
+        self._value_refs: Counter[str] = Counter()
+        #: ``(data_version, records snapshot, hash int)`` — the cached content
+        #: hash, validated by version *and* record identity before reuse.
+        self._hash_state: tuple[int, list[Record], int] | None = None
+        #: record id -> position in ``records``.  A hint, not an authority:
+        #: every read goes through :meth:`_position_of`, which verifies the
+        #: stored position by identity and rescans when ``records`` was
+        #: edited directly.  Keeps :meth:`update` / :meth:`remove` from
+        #: paying an equality scan over the whole list per mutation.
+        self._positions: dict[str, int] = {}
+        for position, record in enumerate(self.records):
             self._validate(record)
             self._by_id[record.record_id] = record
+            self._positions[record.record_id] = position
+            self._value_refs.update(_record_strings(record))
         if len(self._by_id) != len(self.records):
             raise DatasetError(f"duplicate record ids in data source {self.name!r}")
 
@@ -58,20 +178,36 @@ class DataSource:
         """Order-insensitive digest of the source's full content.
 
         Covers the schema and every record's :meth:`~repro.data.records.
-        Record.content_digest`, sorted, so two sources holding the same
-        records (in any insertion order) hash identically.  Unlike
-        :attr:`data_version` this is recomputed from the records on every
-        call: replacing a record *in place* (bypassing :meth:`update`)
-        changes the hash, which is what lets the token index and the artifact
-        store of :mod:`repro.data.artifacts` validate by content instead of
+        Record.content_digest` combined *additively* (a salted sum mod
+        2^256), so two sources holding the same records (in any insertion
+        order) hash identically and a record-level mutation moves the hash by
+        a term computable in O(1) — which is how the mutation API keeps the
+        cached hash current without touching the unchanged records.
+
+        The cache is served only when the live ``records`` list holds the
+        exact same objects as the snapshot taken when the hash was last
+        established (one C-speed identity sweep): replacing a record *in
+        place* (bypassing :meth:`update`) fails that sweep and forces a full
+        recompute, which is what lets the token index and the artifact store
+        of :mod:`repro.data.artifacts` validate by content instead of
         trusting the counter.  Per-record digests are cached on the immutable
-        records, so a call costs one pass over cached hex strings.
+        records, so even a full recompute costs one pass over cached hex
+        strings.
         """
-        digest = hashlib.sha256()
-        digest.update("|".join(self.schema.attributes).encode("utf-8"))
-        for record_digest in sorted(record.content_digest() for record in self.records):
-            digest.update(record_digest.encode("ascii"))
-        return digest.hexdigest()
+        state = self._hash_state
+        if (
+            state is not None
+            and state[0] == self._data_version
+            and len(state[1]) == len(self.records)
+            and all(map(operator.is_, self.records, state[1]))
+        ):
+            return format(state[2], "064x")
+        total = _schema_hash_int(self.schema)
+        for record in self.records:
+            total += _record_hash_int(record)
+        total %= _HASH_MODULUS
+        self._hash_state = (self._data_version, list(self.records), total)
+        return format(total, "064x")
 
     def _validate(self, record: Record) -> None:
         if tuple(record.attribute_names()) != self.schema.attributes:
@@ -87,7 +223,8 @@ class DataSource:
             raise DatasetError(f"duplicate record id {record.record_id!r} in {self.name!r}")
         self.records.append(record)
         self._by_id[record.record_id] = record
-        self._data_version += 1
+        self._positions[record.record_id] = len(self.records) - 1
+        self._commit_mutation("add", old=None, new=record)
 
     def update(self, record: Record) -> Record:
         """Replace the record sharing ``record.record_id``; returns the old one.
@@ -102,9 +239,10 @@ class DataSource:
             raise DatasetError(
                 f"cannot update unknown record id {record.record_id!r} in {self.name!r}"
             )
-        self.records[self.records.index(old)] = record
+        position = self._position_of(old)
+        self.records[position] = record
         self._by_id[record.record_id] = record
-        self._data_version += 1
+        self._commit_mutation("update", old=old, new=record, position=position)
         return old
 
     def remove(self, record_id: str) -> Record:
@@ -115,9 +253,225 @@ class DataSource:
         record = self._by_id.pop(record_id, None)
         if record is None:
             raise DatasetError(f"cannot remove unknown record id {record_id!r} from {self.name!r}")
-        self.records.remove(record)
-        self._data_version += 1
+        position = self._position_of(record)
+        del self.records[position]
+        self._positions = {
+            entry.record_id: index for index, entry in enumerate(self.records)
+        }
+        self._commit_mutation("remove", old=record, new=None, position=position)
         return record
+
+    def _position_of(self, record: Record) -> int:
+        """The position of ``record`` (by id) in ``records``, via the hint map.
+
+        The stored position is trusted only when the live list still holds
+        ``record`` *itself* there; otherwise ``records`` was reordered or
+        edited in place behind the API's back and the map is rebuilt from an
+        identity scan before answering.
+        """
+        position = self._positions.get(record.record_id, -1)
+        records = self.records
+        if 0 <= position < len(records) and records[position] is record:
+            return position
+        self._positions = {
+            entry.record_id: index for index, entry in enumerate(records)
+        }
+        try:
+            return self._positions[record.record_id]
+        except KeyError as exc:
+            raise DatasetError(
+                f"record id {record.record_id!r} not in data source {self.name!r}"
+            ) from exc
+
+    def _commit_mutation(
+        self,
+        op: str,
+        old: Record | None,
+        new: Record | None,
+        position: int | None = None,
+    ) -> None:
+        """Version bump + hash maintenance + refcounts + delta journalling.
+
+        Called *after* ``records`` / ``_by_id`` reflect the mutation.  The
+        cached content hash is carried forward in O(1) when it was valid for
+        the pre-mutation state (version match plus identity sweep over the
+        snapshot, reversing this mutation's own list edit); any doubt drops
+        the cache and the next :meth:`content_hash` call recomputes.
+        ``position`` is the list index the mutation touched, when the caller
+        knows it — it lets the sweep run entirely at C speed.
+        """
+        state = self._hash_state
+        carried: int | None = None
+        if state is not None and state[0] == self._data_version:
+            if self._snapshot_still_current(op, state[1], old, new, position):
+                carried = state[2]
+                if old is not None:
+                    carried -= _record_hash_int(old)
+                if new is not None:
+                    carried += _record_hash_int(new)
+                carried %= _HASH_MODULUS
+        self._data_version += 1
+        self._hash_state = (
+            (self._data_version, list(self.records), carried) if carried is not None else None
+        )
+
+        retired: tuple[str, ...] = ()
+        if new is not None:
+            self._value_refs.update(_record_strings(new))
+        if old is not None:
+            gone: dict[str, None] = {}
+            for value in _record_strings(old):
+                remaining = self._value_refs[value] - 1
+                if remaining > 0:
+                    self._value_refs[value] = remaining
+                else:
+                    del self._value_refs[value]
+                    gone[value] = None
+            retired = tuple(gone)
+
+        self._delta_log.append(
+            SourceDelta(version=self._data_version, op=op, old=old, new=new, retired_values=retired)
+        )
+        while len(self._delta_log) > max(self.delta_log_limit, 0):
+            self._delta_log.popleft()
+
+    def _snapshot_still_current(
+        self,
+        op: str,
+        snapshot: list[Record],
+        old: Record | None,
+        new: Record | None,
+        position: int | None = None,
+    ) -> bool:
+        """Whether the live ``records`` equals ``snapshot`` plus this mutation.
+
+        Identity-only comparison: anything the snapshot cannot explain (an
+        in-place edit slipped in between two API mutations) fails the check,
+        so the carried hash is dropped rather than silently corrupted.  When
+        ``position`` locates the mutation's list edit, the unchanged prefix
+        and suffix are swept with ``map(operator.is_, ...)`` — no Python-level
+        loop over the records.
+        """
+        live = self.records
+        if op == "add":
+            return len(live) == len(snapshot) + 1 and live[-1] is new and all(
+                map(operator.is_, islice(live, len(snapshot)), snapshot)
+            )
+        if op == "update":
+            if len(live) != len(snapshot):
+                return False
+            if position is not None and 0 <= position < len(live):
+                return (
+                    live[position] is new
+                    and snapshot[position] is old
+                    and all(
+                        map(
+                            operator.is_,
+                            islice(live, position),
+                            islice(snapshot, position),
+                        )
+                    )
+                    and all(
+                        map(
+                            operator.is_,
+                            islice(live, position + 1, None),
+                            islice(snapshot, position + 1, None),
+                        )
+                    )
+                )
+            for live_record, snap_record in zip(live, snapshot):
+                if live_record is snap_record:
+                    continue
+                if live_record is new and snap_record is old:
+                    continue
+                return False
+            return True
+        # remove: the snapshot minus its identity occurrence of ``old``.
+        if len(live) != len(snapshot) - 1:
+            return False
+        if position is not None and 0 <= position < len(snapshot):
+            return snapshot[position] is old and all(
+                map(operator.is_, islice(live, position), islice(snapshot, position))
+            ) and all(
+                map(
+                    operator.is_,
+                    islice(live, position, None),
+                    islice(snapshot, position + 1, None),
+                )
+            )
+        shift = 0
+        for index, snap_record in enumerate(snapshot):
+            if shift == 0 and snap_record is old:
+                shift = 1
+                continue
+            if index - shift >= len(live) or live[index - shift] is not snap_record:
+                return False
+        return shift == 1
+
+    # ------------------------------------------------------------- delta log
+
+    @property
+    def oldest_replayable_version(self) -> int:
+        """The smallest ``version`` argument :meth:`deltas_since` can serve."""
+        if not self._delta_log:
+            return self._data_version
+        return self._delta_log[0].version - 1
+
+    def deltas_since(self, version: int) -> list[SourceDelta] | None:
+        """The mutations applied after ``data_version == version``, in order.
+
+        Returns ``[]`` when nothing changed, and ``None`` when the bounded
+        delta log no longer reaches back to ``version`` (or ``version`` is
+        from the future) — the consumer must fall back to a full rebuild.
+        Replaying the returned deltas over a structure that was consistent
+        with the source at ``version`` brings it to the current version;
+        consumers still cross-check by content hash, so a source mutated *in
+        place* (bypassing the log) can never be silently trusted.
+        """
+        if version == self._data_version:
+            return []
+        if version > self._data_version or version < self.oldest_replayable_version:
+            return None
+        return [delta for delta in self._delta_log if delta.version > version]
+
+    def retired_values_since(self, version: int) -> list[str] | None:
+        """Value strings retired by mutations after ``version`` (order-stable).
+
+        The union of ``retired_values`` across :meth:`deltas_since`, filtered
+        down to strings that are *still* unreferenced now (a later mutation
+        may have re-introduced a value; evicting it would only cost a
+        recompute, but there is no point).  ``None`` when the log was
+        truncated — the caller should fall back to a wholesale cache reset
+        (or simply keep relying on its size bound).
+        """
+        deltas = self.deltas_since(version)
+        if deltas is None:
+            return None
+        seen: dict[str, None] = {}
+        for delta in deltas:
+            for value in delta.retired_values:
+                if value not in self._value_refs:
+                    seen.setdefault(value, None)
+        return list(seen)
+
+    # ------------------------------------------------------------- pickling
+
+    def __getstate__(self) -> dict:
+        """Pickle/deepcopy state *without* the per-source token-index cache.
+
+        :func:`repro.data.indexing.get_source_index` stashes heavy
+        ``SourceTokenIndex`` objects on the instance; serialising them into
+        sweep-runner worker processes (or resurrecting stale snapshots via
+        ``deepcopy``) would defeat their freshness tracking, so clones start
+        index-less and rebuild (or warm-load from the artifact store) on
+        first use.
+        """
+        state = dict(self.__dict__)
+        state.pop("_token_indexes", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def get(self, record_id: str) -> Record:
         """Return the record with ``record_id`` or raise ``DatasetError``."""

@@ -131,6 +131,19 @@ class ERModel(ABC):
         if self._featurizer is not None:
             self._featurizer.clear()
 
+    def evict_featurizer_values(self, values) -> int:
+        """Drop featurisation-cache entries for retired value strings.
+
+        The streaming counterpart of :meth:`clear_featurizer_cache`: feed it
+        the ``retired_values`` journalled by ``DataSource`` mutations
+        (directly, or via ``PairFeaturizer.apply_source_deltas``) and only
+        the artifacts no live record can reach are dropped.  Returns the
+        number of entries evicted (0 when featurisation is unsupported).
+        """
+        if self._featurizer is None:
+            return 0
+        return self._featurizer.evict_values(values)
+
     # ----------------------------------------------------------------- training
 
     def fit(self, train: PairSplit | Sequence[RecordPair], valid: PairSplit | Sequence[RecordPair] | None = None) -> TrainingReport:

@@ -259,6 +259,26 @@ class PairComparisonCache:
                 else:
                     target.setdefault(pair_key, value)
 
+    def evict(self, values) -> int:
+        """Drop every pairwise entry touching any of ``values``; entries dropped.
+
+        A pairwise artifact is unreachable once *either* of its value strings
+        left every live record, so one scan per store removes all keys with a
+        retired member.  Like :meth:`ValueFeatureCache.evict
+        <repro.text.interning.ValueFeatureCache.evict>` this can only cause
+        recomputation, never different results.
+        """
+        retired = set(values)
+        if not retired:
+            return 0
+        dropped = 0
+        for store in (self._vectors, self._similarities, self._composed):
+            stale = [key for key in store if key[0] in retired or key[1] in retired]
+            for key in stale:
+                del store[key]
+            dropped += len(stale)
+        return dropped
+
     def size(self) -> int:
         """Total number of cached pairwise entries."""
         return len(self._vectors) + len(self._similarities) + len(self._composed)
@@ -323,6 +343,35 @@ class PairFeaturizer:
         """Drop all cached artifacts (counters are left intact)."""
         self.values.clear()
         self.comparisons.clear()
+
+    def evict_values(self, values) -> int:
+        """Drop cached artifacts keyed by (or paired with) ``values``; count dropped.
+
+        The incremental counterpart of :meth:`clear`: after a
+        ``DataSource`` mutation retires some value strings from every live
+        record, only the entries derived from those strings are unreachable —
+        everything else stays warm.
+        """
+        retired = [value for value in values if value]
+        if not retired:
+            return 0
+        return self.values.evict(retired) + self.comparisons.evict(retired)
+
+    def apply_source_deltas(self, deltas) -> int:
+        """Evict the artifacts retired by a batch of ``SourceDelta`` mutations.
+
+        Each :class:`~repro.data.table.SourceDelta` journals the value
+        strings its mutation removed from every live record
+        (``retired_values``); this consumes a ``deltas_since`` batch and
+        drops exactly those entries.  Returns the number of entries dropped.
+        Pass the deltas of every source feeding this featurizer — a value
+        retired from one source may still live in another, which is safe
+        (re-interned on next use) but wastes a recomputation.
+        """
+        retired: set[str] = set()
+        for delta in deltas:
+            retired.update(delta.retired_values)
+        return self.evict_values(retired)
 
     # ------------------------------------------------------------- persistence
 

@@ -162,6 +162,25 @@ class ValueFeatureCache:
             for key, row in zip(block["keys"], values):
                 target.setdefault(str(key), row)
 
+    def evict(self, values) -> int:
+        """Drop the entries interned for ``values``; the number of entries dropped.
+
+        The targeted counterpart of :meth:`clear` for streaming mutation:
+        when :meth:`DataSource.update/remove <repro.data.table.DataSource>`
+        retires a value string from every live record (the source journals
+        exactly those strings in ``SourceDelta.retired_values``), its
+        artifacts here become unreachable through any featurisation call and
+        would otherwise accumulate for the life of the process.  Values still
+        referenced elsewhere simply re-intern on next use, so eviction can
+        never change results — only recomputation counts.
+        """
+        dropped = 0
+        for value in values:
+            for store in (self._features, self._embeddings, self._vectors):
+                if store.pop(value, None) is not None:
+                    dropped += 1
+        return dropped
+
     def size(self) -> int:
         """Total number of interned entries across all stores."""
         return len(self._features) + len(self._embeddings) + len(self._vectors)

@@ -107,6 +107,29 @@ class TestContentHashMetadata:
         with pytest.raises(DatasetError, match="content hash"):
             load_dataset(tmp_path / "ds")
 
+    def test_saved_metadata_records_the_hash_formula_version(self, dataset, tmp_path):
+        import json
+
+        from repro.data.table import CONTENT_HASH_VERSION
+
+        save_dataset(dataset, tmp_path / "ds")
+        metadata = json.loads((tmp_path / "ds" / "metadata.json").read_text(encoding="utf-8"))
+        assert metadata["hash_version"] == CONTENT_HASH_VERSION
+
+    def test_hash_formula_skew_skips_verification(self, dataset, tmp_path):
+        """A dataset saved under another hash formula loads without a (false)
+        corruption report — formula skew is not tampering."""
+        import json
+
+        save_dataset(dataset, tmp_path / "ds")
+        metadata_path = tmp_path / "ds" / "metadata.json"
+        metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
+        metadata["hash_version"] = 1  # the pre-additive sorted-digest formula
+        metadata["content_hashes"] = {"tableA": "0" * 64, "tableB": "0" * 64}
+        metadata_path.write_text(json.dumps(metadata), encoding="utf-8")
+        loaded = load_dataset(tmp_path / "ds")
+        assert loaded.left.content_hash() == dataset.left.content_hash()
+
 
 class TestJsonl:
     def test_roundtrip(self, sources, tmp_path):

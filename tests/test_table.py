@@ -107,6 +107,108 @@ class TestContentHash:
         twin = DataSource(name="other-name", schema=left.schema, records=list(left.records))
         assert twin.content_hash() == left.content_hash()
 
+    def test_incremental_hash_equals_recompute_after_mutations(self, sources):
+        """The O(1) per-mutation hash carry is bit-equal to hashing from scratch."""
+        left, _ = sources
+        left.add(make_record("L7", "alpha beta", "gamma", "1.0"))
+        left.update(make_record("L1", "delta epsilon", "zeta", "2.0"))
+        left.remove("L3")
+        rebuilt = DataSource(name=left.name, schema=left.schema, records=list(left.records))
+        assert left.content_hash() == rebuilt.content_hash()
+
+    def test_hash_is_cached_per_version(self, sources):
+        """An unchanged source never re-hashes its records (the O(n) bugfix)."""
+        left, _ = sources
+        left.content_hash()
+        state = left._hash_state
+        assert state is not None
+        left.content_hash()
+        assert left._hash_state is state  # served from cache, not rebuilt
+        left.add(make_record("L7", "x", "y", "1.0"))
+        left.content_hash()
+        assert left._hash_state is not state
+
+
+class TestDeltaLog:
+    def test_deltas_since_replays_the_journal(self, sources):
+        left, _ = sources
+        start = left.data_version
+        left.add(make_record("L7", "one", "two", "1.0"))
+        left.update(make_record("L0", "sony bravia theater", "changed description", "199.99"))
+        left.remove("L4")
+        deltas = left.deltas_since(start)
+        assert [delta.op for delta in deltas] == ["add", "update", "remove"]
+        assert [delta.version for delta in deltas] == [start + 1, start + 2, start + 3]
+        assert deltas[0].old is None and deltas[0].new.record_id == "L7"
+        assert deltas[1].old.record_id == "L0" and deltas[1].new.record_id == "L0"
+        assert deltas[2].new is None and deltas[2].old.record_id == "L4"
+
+    def test_deltas_since_current_version_is_empty(self, sources):
+        left, _ = sources
+        assert left.deltas_since(left.data_version) == []
+
+    def test_truncated_log_returns_none(self, sources):
+        left, _ = sources
+        left.delta_log_limit = 2
+        start = left.data_version
+        for index in range(3):
+            left.add(make_record(f"L{7 + index}", "n", "d", "1.0"))
+        assert left.deltas_since(start) is None
+        assert len(left.deltas_since(start + 1)) == 2
+
+    def test_future_version_returns_none(self, sources):
+        left, _ = sources
+        assert left.deltas_since(left.data_version + 1) is None
+
+    def test_update_journals_retired_values(self, sources):
+        """Value strings no longer held by any live record are journalled."""
+        left, _ = sources
+        old = left.get("L0")
+        start = left.data_version
+        left.update(make_record("L0", old.value("name"), "completely new words", "199.99"))
+        (delta,) = left.deltas_since(start)
+        assert old.value("description") in delta.retired_values
+        assert old.value("name") not in delta.retired_values  # still live in L0
+        assert old.as_text() in delta.retired_values
+
+    def test_shared_values_are_not_retired(self):
+        records = [make_record("a", "sony", "desc a", "1"), make_record("b", "sony", "desc b", "2")]
+        source = DataSource(name="s", schema=LEFT_SCHEMA, records=records)
+        start = source.data_version
+        source.remove("a")
+        (delta,) = source.deltas_since(start)
+        assert "sony" not in delta.retired_values  # record "b" still holds it
+        assert "desc a" in delta.retired_values
+
+
+class TestPicklingExcludesIndexCache:
+    def test_pickle_round_trip_drops_token_indexes(self, sources):
+        import pickle
+
+        from repro.data.indexing import get_source_index
+
+        left, right = sources
+        get_source_index(left, 2).top_k(right.get("R0"), k=3)
+        assert left._token_indexes
+        clone = pickle.loads(pickle.dumps(left))
+        assert getattr(clone, "_token_indexes", None) is None
+        assert clone.ids() == left.ids()
+        assert clone.content_hash() == left.content_hash()
+
+    def test_deepcopy_drops_token_indexes(self, sources):
+        import copy
+
+        from repro.data.indexing import get_source_index
+
+        left, right = sources
+        get_source_index(left, 2).top_k(right.get("R0"), k=3)
+        clone = copy.deepcopy(left)
+        assert getattr(clone, "_token_indexes", None) is None
+        # The clone starts index-less but journals and hashes independently.
+        clone.add(make_record("L7", "fresh", "record", "1.0"))
+        assert clone.content_hash() != left.content_hash()
+        assert left._token_indexes  # the original keeps its live index
+
 
 class TestDataSourceConstruction:
     def test_records_are_indexed_by_id(self, sources):

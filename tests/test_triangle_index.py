@@ -63,10 +63,13 @@ class TestIndexStats:
         assert total == IndexStats(builds=1, queries=5, postings_visited=5)
 
     def test_as_dict_is_prefixed(self):
-        stats = IndexStats(builds=1, loads=5, queries=2, postings_visited=3, candidates_pruned=4)
+        stats = IndexStats(
+            builds=1, loads=5, delta_applies=6, queries=2, postings_visited=3, candidates_pruned=4
+        )
         assert stats.as_dict() == {
             "index_builds": 1,
             "index_loads": 5,
+            "index_delta_applies": 6,
             "index_queries": 2,
             "index_postings_visited": 3,
             "index_candidates_pruned": 4,
@@ -153,7 +156,7 @@ class TestIndexLifecycle:
         assert get_source_index(left, 2) is get_source_index(left, 2)
         assert get_source_index(left, 2) is not get_source_index(left, 3)
 
-    def test_mutation_triggers_exactly_one_rebuild(self, sources):
+    def test_mutation_triggers_exactly_one_delta_apply(self, sources):
         left, right = sources
         index = get_source_index(left, DEFAULT_BLOCKING_TOKEN_LENGTH)
         query = right.get("R0")
@@ -163,7 +166,10 @@ class TestIndexLifecycle:
         left.add(newcomer)
         first = index.top_k(query, k=2)
         second = index.top_k(query, k=2)
-        assert index.builds == 2  # one rebuild serves all post-mutation queries
+        # The journalled mutation is absorbed incrementally: one delta apply
+        # serves all post-mutation queries, and no rebuild ever happens.
+        assert index.builds == 1
+        assert index.delta_applies == 1
         assert "L9" in {record.record_id for record in first}
         assert [r.record_id for r in first] == [r.record_id for r in second]
 
