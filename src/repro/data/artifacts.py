@@ -50,7 +50,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import struct
 import tempfile
+import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
@@ -65,10 +68,27 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports (no cycle at run
 #: per-record-digest formula (``CONTENT_HASH_VERSION`` 2), so every
 #: content-hash-keyed artifact from version 1 is addressed by a formula no
 #: live source will ever produce again.
-ARTIFACT_SCHEMA_VERSION = 2
+#: 3: source-index artifacts moved from flat-string JSON to sharded-CSR npz
+#: (``index_*.npz``: token table + ``token_offsets``/``postings`` posting
+#: arrays + per-record token-id arena), loadable zero-copy via ``mmap``.
+ARTIFACT_SCHEMA_VERSION = 3
 
 #: Environment variable naming the process-wide artifact directory.
 ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
+
+#: Default token-hash shard count of a compiled/persisted source index.
+DEFAULT_INDEX_SHARDS = 8
+
+
+def token_shard(token: str, num_shards: int) -> int:
+    """The shard owning ``token`` (stable token-hash range partitioning).
+
+    ``crc32`` rather than ``hash``: python string hashing is salted per
+    process, and shard assignment must agree between the worker processes of
+    a parallel build, the loader of a persisted artifact and the incremental
+    maintenance that invalidates single shards after a mutation.
+    """
+    return zlib.crc32(token.encode("utf-8")) % num_shards
 
 
 @dataclass(frozen=True)
@@ -148,6 +168,71 @@ def _read_json(path: Path) -> dict | None:
     return payload if isinstance(payload, dict) else None
 
 
+def load_npz_arrays(path: Path, mmap: bool = True) -> dict[str, np.ndarray] | None:
+    """Read every member of a ``.npz`` archive; ``None`` on any failure.
+
+    With ``mmap=True`` (the default) the members are returned as zero-copy
+    views over one ``np.memmap`` of the archive: ``np.savez`` stores members
+    uncompressed (``ZIP_STORED``), so each ``.npy`` payload sits contiguous in
+    the file and only the zip/npy *headers* are actually read.  A 1M-record
+    index artifact thus "loads" in O(header) time and pages in lazily.  Any
+    irregularity — compressed members, fortran order, object dtypes, header
+    damage — falls back to a plain ``np.load`` full read, and only when that
+    also fails does the function return ``None``.
+    """
+    if mmap:
+        try:
+            return _mmap_npz_members(path)
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile, struct.error):
+            pass
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return {name: archive[name] for name in archive.files}
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+        return None
+
+
+def _mmap_npz_members(path: Path) -> dict[str, np.ndarray]:
+    """Zero-copy views of every uncompressed ``.npz`` member (raises on any skew).
+
+    The zip central directory supplies each member's ``header_offset``; the
+    30-byte local file header at that offset supplies the name/extra lengths
+    that position the embedded ``.npy`` stream, whose own header
+    (``np.lib.format``) yields dtype and shape.  The member's data is then a
+    ``view``/``reshape`` of a slice of one shared ``uint8`` memmap.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    raw = np.memmap(path, dtype=np.uint8, mode="r")
+    with open(path, "rb") as handle, zipfile.ZipFile(handle) as archive:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError(f"compressed member {info.filename!r}")
+            handle.seek(info.header_offset)
+            local_header = handle.read(30)
+            if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+                raise ValueError(f"bad local header for {info.filename!r}")
+            name_length, extra_length = struct.unpack("<HH", local_header[26:30])
+            member_start = info.header_offset + 30 + name_length + extra_length
+            handle.seek(member_start)
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran_order, dtype = np.lib.format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran_order, dtype = np.lib.format.read_array_header_2_0(handle)
+            else:
+                raise ValueError(f"unsupported npy version {version}")
+            if fortran_order or dtype.hasobject:
+                raise ValueError(f"non-mappable member {info.filename!r}")
+            data_start = handle.tell()
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            data_end = data_start + count * dtype.itemsize
+            if data_end > member_start + info.file_size or data_end > raw.size:
+                raise ValueError(f"member {info.filename!r} data out of bounds")
+            name = info.filename[:-4] if info.filename.endswith(".npy") else info.filename
+            arrays[name] = raw[data_start:data_end].view(dtype).reshape(shape)
+    return arrays
+
+
 def dataset_fingerprint(dataset: "ERDataset") -> str:
     """Stable digest of everything a training run consumes from a dataset.
 
@@ -183,7 +268,7 @@ class ArtifactStore:
 
     One directory, three artifact families::
 
-        <dir>/indexes/index_<hash16>_len<L>.json      source token indexes
+        <dir>/indexes/index_<hash16>_len<L>.npz       source token indexes
         <dir>/featurizers/feat_<fp16>.npz             featurizer value caches
         <dir>/models/<name>_<fast|full>_<fp16>/       trained matcher weights
 
@@ -224,7 +309,7 @@ class ArtifactStore:
 
     def index_path(self, content_hash: str, min_token_length: int) -> Path:
         """On-disk location of the index artifact for one (source, length)."""
-        return self.directory / "indexes" / f"index_{content_hash[:16]}_len{min_token_length}.json"
+        return self.directory / "indexes" / f"index_{content_hash[:16]}_len{min_token_length}.npz"
 
     def save_source_index(
         self,
@@ -234,55 +319,126 @@ class ArtifactStore:
         ids: Sequence[str],
         token_sets: Sequence[Iterable[str]],
         postings: Mapping[str, Sequence[int]],
+        num_shards: int = DEFAULT_INDEX_SHARDS,
     ) -> Path:
         """Persist one built :class:`~repro.data.indexing.SourceTokenIndex`.
 
-        ``ids`` contributes only the record count: the content hash in the
-        key (and payload) already commits to the exact id/value multiset, and
-        position-to-record alignment is deterministic (records sort by id),
-        so storing the id list would be redundant parse weight on the warm
-        path.
-
-        The payload avoids many-small-arrays JSON (whose parse cost rivals
-        re-tokenising): token sets are one newline-joined string of
-        space-joined sets, postings one flat position array with per-token
-        counts — both parse as single C-speed values, which is what makes a
-        warm load beat a build (see ``bench_artifact_store.py``).
+        Converts the canonical dict form — ``postings`` keyed by token over
+        sorted record positions, ``token_sets`` aligned with the id-sorted
+        ``ids`` — into the sharded-CSR array layout of
+        :meth:`save_index_arrays`.  ``ids`` contributes only the record
+        count: the content hash in the key (and manifest) already commits to
+        the exact id/value multiset, and position-to-record alignment is
+        deterministic (records sort by id), so storing the id list would be
+        redundant weight on the warm path.
         """
-        token_lines = "\n".join(" ".join(sorted(tokens)) for tokens in token_sets)
-        posting_tokens = list(postings)
-        payload = {
+        order = sorted(postings, key=lambda token: (token_shard(token, num_shards), token))
+        token_ids = {token: position for position, token in enumerate(order)}
+        shard_counts = np.zeros(num_shards, dtype=np.int64)
+        for token in order:
+            shard_counts[token_shard(token, num_shards)] += 1
+        shard_offsets = np.zeros(num_shards + 1, dtype=np.int64)
+        np.cumsum(shard_counts, out=shard_offsets[1:])
+        token_offsets = np.zeros(len(order) + 1, dtype=np.int64)
+        np.cumsum(
+            np.fromiter((len(postings[token]) for token in order), dtype=np.int64, count=len(order)),
+            out=token_offsets[1:],
+        )
+        flat_postings = np.fromiter(
+            (position for token in order for position in postings[token]),
+            dtype=np.int32,
+            count=int(token_offsets[-1]),
+        )
+        arena_lists = [sorted(token_ids[token] for token in tokens) for tokens in token_sets]
+        arena_offsets = np.zeros(len(arena_lists) + 1, dtype=np.int64)
+        np.cumsum(
+            np.fromiter((len(row) for row in arena_lists), dtype=np.int64, count=len(arena_lists)),
+            out=arena_offsets[1:],
+        )
+        arena_tokens = np.fromiter(
+            (token_id for row in arena_lists for token_id in row),
+            dtype=np.int32,
+            count=int(arena_offsets[-1]),
+        )
+        return self.save_index_arrays(
+            source_name,
+            content_hash,
+            min_token_length,
+            len(ids),
+            {
+                "num_shards": num_shards,
+                "tokens": order,
+                "shard_offsets": shard_offsets,
+                "token_offsets": token_offsets,
+                "postings": flat_postings,
+                "arena_offsets": arena_offsets,
+                "arena_tokens": arena_tokens,
+            },
+        )
+
+    def save_index_arrays(
+        self,
+        source_name: str,
+        content_hash: str,
+        min_token_length: int,
+        record_count: int,
+        index_arrays: Mapping[str, object],
+    ) -> Path:
+        """Persist a compiled index already in sharded-CSR array form.
+
+        ``index_arrays`` carries the same keys :meth:`load_source_index`
+        returns — ``num_shards``, ``tokens`` (shard-major, sorted within each
+        shard; a list or a pre-joined newline blob), ``shard_offsets`` /
+        ``token_offsets`` / ``postings`` (CSR posting lists over record
+        positions) and ``arena_offsets`` / ``arena_tokens`` (per-record
+        sorted token-id sets).  Members are written uncompressed by
+        ``np.savez``, which is what makes the artifact memory-mappable on
+        load (:func:`load_npz_arrays`).
+        """
+        tokens = index_arrays["tokens"]
+        token_blob = tokens if isinstance(tokens, str) else "\n".join(tokens)
+        token_count = (token_blob.count("\n") + 1) if token_blob else 0
+        flat_postings = np.ascontiguousarray(index_arrays["postings"], dtype=np.int32)
+        arena_tokens = np.ascontiguousarray(index_arrays["arena_tokens"], dtype=np.int32)
+        manifest = {
             "kind": "source_index",
             "schema_version": ARTIFACT_SCHEMA_VERSION,
             "source_name": source_name,
             "content_hash": content_hash,
             "min_token_length": min_token_length,
-            "record_count": len(ids),
-            "token_sets": token_lines,
-            "posting_tokens": "\n".join(posting_tokens),
-            "posting_counts": [len(postings[token]) for token in posting_tokens],
-            "posting_positions": [
-                position for token in posting_tokens for position in postings[token]
-            ],
+            "record_count": record_count,
+            "num_shards": int(index_arrays["num_shards"]),
+            "token_count": token_count,
+            "posting_count": int(flat_postings.size),
+        }
+        arrays = {
+            "manifest": np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8),
+            "token_blob": np.frombuffer(token_blob.encode("utf-8"), dtype=np.uint8),
+            "shard_offsets": np.ascontiguousarray(index_arrays["shard_offsets"], dtype=np.int64),
+            "token_offsets": np.ascontiguousarray(index_arrays["token_offsets"], dtype=np.int64),
+            "postings": flat_postings,
+            "arena_offsets": np.ascontiguousarray(index_arrays["arena_offsets"], dtype=np.int64),
+            "arena_tokens": arena_tokens,
         }
         path = self.index_path(content_hash, min_token_length)
-        write_atomic_text(path, json.dumps(payload))
+        write_atomic_npz(path, arrays)
         self.index_saves += 1
         return path
 
     def load_source_index(
         self, content_hash: str, min_token_length: int, expected_ids: Sequence[str]
     ) -> dict | None:
-        """The saved index payload for (``content_hash``, ``min_token_length``).
+        """The saved index arrays for (``content_hash``, ``min_token_length``).
 
-        Returns ``None`` — counting a miss — unless the artifact exists,
-        parses, carries the current schema version, repeats the expected
-        content hash and parameters, and is structurally consistent with the
-        live source.  The caller still spot-checks the derivation
-        (see ``SourceTokenIndex._build``).
+        Returns ``None`` — counting a miss — unless the artifact exists, maps
+        (or reads), carries the current schema version, repeats the expected
+        content hash and parameters, and survives the structural validation
+        of :meth:`_decode_index_arrays`.  The caller still spot-checks the
+        derivation (see ``SourceTokenIndex._build``).
         """
-        payload = _read_json(self.index_path(content_hash, min_token_length))
-        decoded = self._decode_index_payload(payload, content_hash, min_token_length, len(expected_ids))
+        path = self.index_path(content_hash, min_token_length)
+        arrays = load_npz_arrays(path) if path.exists() else None
+        decoded = self._decode_index_arrays(arrays, content_hash, min_token_length, len(expected_ids))
         if decoded is None:
             self.index_misses += 1
             return None
@@ -290,62 +446,122 @@ class ArtifactStore:
         return decoded
 
     @staticmethod
-    def _decode_index_payload(
-        payload: dict | None,
+    def _decode_index_arrays(
+        arrays: Mapping[str, np.ndarray] | None,
         content_hash: str,
         min_token_length: int,
         record_count: int,
     ) -> dict | None:
-        """Validate and decode a stored index payload, or ``None``.
+        """Validate a stored index-array archive, or ``None``.
 
-        Returns ``{"token_sets": list[list[str]], "postings": dict[str,
-        list[int]]}``.  Validation is kept to C-speed passes (equality
-        checks, ``min``/``max`` bounds over the flat position array): the
-        record multiset is already committed to by the content hash, and
-        semantic drift (a changed tokeniser without a schema bump) is caught
-        by the caller's derivation spot-check.
+        Returns ``{"num_shards", "tokens", "shard_offsets", "token_offsets",
+        "postings", "arena_offsets", "arena_tokens"}`` with the tokens
+        decoded to a list and every array validated structurally — dtypes,
+        offset monotonicity, position/token-id bounds, strict per-row
+        ordering — in vectorised C-speed passes.  The record multiset is
+        already committed to by the content hash, and semantic drift (a
+        changed tokeniser without a schema bump) is caught by the caller's
+        derivation spot-check.
         """
-        if payload is None:
+        if arrays is None:
             return None
-        if payload.get("kind") != "source_index":
+        required = (
+            "manifest",
+            "token_blob",
+            "shard_offsets",
+            "token_offsets",
+            "postings",
+            "arena_offsets",
+            "arena_tokens",
+        )
+        if any(name not in arrays for name in required):
             return None
-        if payload.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
-            return None
-        if payload.get("content_hash") != content_hash:
-            return None
-        if payload.get("min_token_length") != min_token_length:
-            return None
-        if payload.get("record_count") != record_count:
-            return None
-        token_lines = payload.get("token_sets")
-        posting_tokens = payload.get("posting_tokens")
-        posting_counts = payload.get("posting_counts")
-        posting_positions = payload.get("posting_positions")
-        if not isinstance(token_lines, str) or not isinstance(posting_tokens, str):
-            return None
-        if not isinstance(posting_counts, list) or not isinstance(posting_positions, list):
-            return None
-        lines = token_lines.split("\n") if (token_lines or record_count) else []
-        if len(lines) != record_count:
-            return None
-        tokens = posting_tokens.split("\n") if posting_tokens else []
         try:
-            if len(tokens) != len(posting_counts) or sum(posting_counts) != len(posting_positions):
-                return None
-            if posting_positions and not (
-                0 <= min(posting_positions) <= max(posting_positions) < record_count
-            ):
-                return None
-        except TypeError:
+            manifest = json.loads(bytes(np.asarray(arrays["manifest"])).decode("utf-8"))
+        except (ValueError, TypeError, UnicodeDecodeError):
             return None
-        postings: dict[str, list[int]] = {}
-        offset = 0
-        for token, count in zip(tokens, posting_counts):
-            postings[token] = posting_positions[offset : offset + count]
-            offset += count
-        # ``token_lines`` stays unsplit: the caller materialises frozensets in
-        # a single pass, avoiding an intermediate list-of-lists.
-        return {"token_lines": lines, "postings": postings}
+        if not isinstance(manifest, dict):
+            return None
+        if manifest.get("kind") != "source_index":
+            return None
+        if manifest.get("schema_version") != ARTIFACT_SCHEMA_VERSION:
+            return None
+        if manifest.get("content_hash") != content_hash:
+            return None
+        if manifest.get("min_token_length") != min_token_length:
+            return None
+        if manifest.get("record_count") != record_count:
+            return None
+        num_shards = manifest.get("num_shards")
+        token_count = manifest.get("token_count")
+        posting_count = manifest.get("posting_count")
+        if not isinstance(num_shards, int) or isinstance(num_shards, bool) or num_shards < 1:
+            return None
+        if not isinstance(token_count, int) or isinstance(token_count, bool) or token_count < 0:
+            return None
+        if not isinstance(posting_count, int) or isinstance(posting_count, bool) or posting_count < 0:
+            return None
+        try:
+            token_blob = bytes(np.asarray(arrays["token_blob"])).decode("utf-8")
+        except (TypeError, UnicodeDecodeError):
+            return None
+        tokens = token_blob.split("\n") if token_count else []
+        if len(tokens) != token_count:
+            return None
+        shard_offsets = np.asarray(arrays["shard_offsets"])
+        token_offsets = np.asarray(arrays["token_offsets"])
+        flat_postings = np.asarray(arrays["postings"])
+        arena_offsets = np.asarray(arrays["arena_offsets"])
+        arena_tokens = np.asarray(arrays["arena_tokens"])
+        if not ArtifactStore._valid_offsets(shard_offsets, num_shards + 1, token_count):
+            return None
+        if not ArtifactStore._valid_offsets(token_offsets, token_count + 1, posting_count):
+            return None
+        if not ArtifactStore._valid_offsets(arena_offsets, record_count + 1, int(arena_tokens.size)):
+            return None
+        if flat_postings.dtype != np.int32 or flat_postings.ndim != 1:
+            return None
+        if arena_tokens.dtype != np.int32 or arena_tokens.ndim != 1:
+            return None
+        if flat_postings.size != posting_count or arena_tokens.size != posting_count:
+            return None
+        if not ArtifactStore._valid_rows(flat_postings, token_offsets, record_count):
+            return None
+        if not ArtifactStore._valid_rows(arena_tokens, arena_offsets, token_count):
+            return None
+        return {
+            "num_shards": num_shards,
+            "tokens": tokens,
+            "shard_offsets": shard_offsets,
+            "token_offsets": token_offsets,
+            "postings": flat_postings,
+            "arena_offsets": arena_offsets,
+            "arena_tokens": arena_tokens,
+        }
+
+    @staticmethod
+    def _valid_offsets(offsets: np.ndarray, length: int, total: int) -> bool:
+        """``offsets`` is a well-formed CSR offset array ending at ``total``."""
+        if offsets.dtype != np.int64 or offsets.shape != (length,):
+            return False
+        if offsets[0] != 0 or offsets[-1] != total:
+            return False
+        return not np.any(np.diff(offsets) < 0)
+
+    @staticmethod
+    def _valid_rows(values: np.ndarray, offsets: np.ndarray, bound: int) -> bool:
+        """Every CSR row of ``values`` is strictly increasing within [0, bound)."""
+        if values.size == 0:
+            return True
+        if int(values.min()) < 0 or int(values.max()) >= bound:
+            return False
+        if values.size == 1:
+            return True
+        interior = np.ones(values.size - 1, dtype=bool)
+        boundaries = np.asarray(offsets[1:-1])
+        boundaries = boundaries[(boundaries > 0) & (boundaries < values.size)]
+        interior[boundaries - 1] = False
+        return not np.any(values[1:][interior] <= values[:-1][interior])
 
     # ------------------------------------------------------- featurizer caches
 

@@ -99,7 +99,10 @@ def token_blocking(
     map come from each source's shared :class:`SourceTokenIndex` (built once,
     reused across calls and by the triangle search); ``indexed=False``
     re-tokenises both sources — the scan reference the indexed path must
-    match exactly.
+    match exactly.  When the index holds only a compiled (numpy CSR) form —
+    after a warm npz load or a sharded parallel build — ``posting_items``
+    streams postings straight out of the compiled arrays without
+    materialising the dict representation.
     """
     if indexed:
         from repro.data.indexing import get_source_index
@@ -152,6 +155,7 @@ def top_k_neighbours(
     exclude_ids: Iterable[str] = (),
     min_token_length: int = DEFAULT_BLOCKING_TOKEN_LENGTH,
     indexed: bool = True,
+    tiered: bool | None = None,
 ) -> list[Record]:
     """Return the ``k`` candidates with the highest token overlap with ``query``.
 
@@ -165,13 +169,16 @@ def top_k_neighbours(
     candidate.  When ``candidates`` is a :class:`DataSource` and ``indexed``
     is true, the query runs through the source's shared
     :class:`SourceTokenIndex`; any other iterable (or ``indexed=False``) takes
-    the scan path, which scores every candidate.
+    the scan path, which scores every candidate.  ``tiered`` picks the index
+    traversal (compiled tiered ranker vs dict walk, see
+    :meth:`SourceTokenIndex.top_k`); it selects an implementation, never a
+    result — all three paths return byte-identical rankings.
     """
     if indexed and isinstance(candidates, DataSource):
         from repro.data.indexing import get_source_index
 
         index = get_source_index(candidates, min_token_length)
-        return index.top_k(query, k=k, exclude_ids=exclude_ids)
+        return index.top_k(query, k=k, exclude_ids=exclude_ids, tiered=tiered)
 
     excluded = set(exclude_ids)
     scored = [

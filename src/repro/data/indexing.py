@@ -59,19 +59,42 @@ from __future__ import annotations
 import bisect
 import heapq
 import operator
+import os
+import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
-from repro.data.artifacts import ArtifactStore, default_store
+import numpy as np
+
+from repro.data.artifacts import (
+    DEFAULT_INDEX_SHARDS,
+    ArtifactStore,
+    default_store,
+    token_shard,
+)
 from repro.data.blocking import DEFAULT_BLOCKING_TOKEN_LENGTH
 from repro.data.records import Record, RecordPair
 from repro.data.table import DataSource, SourceDelta, combine_content_hash
 from repro.text.tokenize import tokenize
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (no cycle at runtime)
+    from repro.eval.runner import SweepRunner
+
 #: Interned blocking-token sets keyed by (record content text, min length).
 #: Content-addressed like :class:`repro.text.interning.ValueFeatureCache`:
 #: perturbed/augmented copies of a record share one entry per process.
 _TOKEN_SET_CACHE: dict[tuple[str, int], frozenset[str]] = {}
+
+#: Sources larger than this bypass the interning cache during a cold build:
+#: at million-record scale the per-record entries would pin the whole token
+#: universe in a process-lifetime dict for a one-shot derivation.
+_INTERN_CACHE_RECORD_LIMIT = 50_000
+
+#: ``tiered=None`` (auto) routes :meth:`SourceTokenIndex.top_k` through the
+#: compiled arrays once a source reaches this many records — or earlier, if a
+#: compiled view already exists (e.g. after a warm npz load or a sharded
+#: parallel build).  Below it the dict traversal wins on constant factors.
+COMPILED_MIN_RECORDS = 16384
 
 
 def interned_blocking_tokens(record: Record, min_length: int) -> frozenset[str]:
@@ -116,6 +139,14 @@ class IndexStats:
         Records never materialised as ranking candidates thanks to the
         inverted index (zero-overlap records skipped plus records cut off by
         the early-termination bound).
+    ``bytes_resident``
+        Bytes held by the compiled numpy view of the index (0 while only the
+        dict representation exists).  A gauge rather than a monotone counter:
+        deltas between snapshots report how much compiled memory appeared (or
+        was released by recompiles) over the window.
+    ``compile_ms``
+        Milliseconds spent freezing the dict representation into the
+        compiled arrays (full compiles plus dirty-shard recompiles).
     """
 
     builds: int = 0
@@ -124,6 +155,8 @@ class IndexStats:
     queries: int = 0
     postings_visited: int = 0
     candidates_pruned: int = 0
+    bytes_resident: int = 0
+    compile_ms: float = 0.0
 
     def __sub__(self, other: "IndexStats") -> "IndexStats":
         """Counter delta between two snapshots."""
@@ -134,6 +167,8 @@ class IndexStats:
             queries=self.queries - other.queries,
             postings_visited=self.postings_visited - other.postings_visited,
             candidates_pruned=self.candidates_pruned - other.candidates_pruned,
+            bytes_resident=self.bytes_resident - other.bytes_resident,
+            compile_ms=self.compile_ms - other.compile_ms,
         )
 
     def __add__(self, other: "IndexStats") -> "IndexStats":
@@ -145,9 +180,11 @@ class IndexStats:
             queries=self.queries + other.queries,
             postings_visited=self.postings_visited + other.postings_visited,
             candidates_pruned=self.candidates_pruned + other.candidates_pruned,
+            bytes_resident=self.bytes_resident + other.bytes_resident,
+            compile_ms=self.compile_ms + other.compile_ms,
         )
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, int | float]:
         """Plain dictionary view (``index_``-prefixed) for reports and rows."""
         return {
             "index_builds": self.builds,
@@ -156,11 +193,145 @@ class IndexStats:
             "index_queries": self.queries,
             "index_postings_visited": self.postings_visited,
             "index_candidates_pruned": self.candidates_pruned,
+            "index_bytes_resident": self.bytes_resident,
+            "index_compile_ms": self.compile_ms,
         }
 
 
 class _DeltaReplayError(Exception):
     """Raised when a delta cannot be applied consistently (forces a rebuild)."""
+
+
+class _PendingPostings:
+    """Per-replay batch buffer for posting-list edits (sort once per token).
+
+    ``bisect.insort`` per (token, slot) made a large replay quadratic in the
+    hot posting lists: every insertion paid an O(df) list shift.  The buffer
+    instead records adds/removes per token while the replay runs — validating
+    each against base-list ∪ pending state exactly as the eager code did —
+    and :meth:`commit` rewrites each *touched* list once: filter the removes,
+    extend with the adds, one ``sort``.  An aborted replay (any
+    ``_DeltaReplayError``) simply drops the buffer, leaving the posting dict
+    untouched for the rebuild that follows.
+    """
+
+    def __init__(self, postings: dict[str, list[int]]) -> None:
+        self._postings = postings
+        self._adds: dict[str, set[int]] = {}
+        self._removes: dict[str, set[int]] = {}
+
+    def add(self, token: str, slot: int) -> None:
+        removes = self._removes.get(token)
+        if removes is not None and slot in removes:
+            removes.discard(slot)
+            return
+        self._adds.setdefault(token, set()).add(slot)
+
+    def remove(self, token: str, slot: int) -> None:
+        adds = self._adds.get(token)
+        if adds is not None and slot in adds:
+            adds.discard(slot)
+            return
+        base = self._postings.get(token)
+        removes = self._removes.setdefault(token, set())
+        if slot in removes or base is None:
+            raise _DeltaReplayError(f"slot {slot} not posted under {token!r}")
+        index = bisect.bisect_left(base, slot)
+        if index == len(base) or base[index] != slot:
+            raise _DeltaReplayError(f"slot {slot} not posted under {token!r}")
+        removes.add(slot)
+
+    def commit(self) -> set[str]:
+        """Apply the buffered edits; the set of tokens whose lists changed."""
+        touched: set[str] = set()
+        for token, removes in self._removes.items():
+            if not removes:
+                continue
+            kept = [slot for slot in self._postings[token] if slot not in removes]
+            if kept:
+                self._postings[token] = kept
+            else:
+                del self._postings[token]
+            touched.add(token)
+        for token, adds in self._adds.items():
+            if not adds:
+                continue
+            slots = self._postings.setdefault(token, [])
+            slots.extend(adds)
+            slots.sort()
+            touched.add(token)
+        return touched
+
+
+def _compile_shard_arrays(token_lists: dict[str, list[int]]) -> _CompiledShard:
+    """Freeze one shard's ``token -> sorted slot list`` map into CSR arrays."""
+    tokens = sorted(token_lists)
+    token_offsets = np.zeros(len(tokens) + 1, dtype=np.int64)
+    np.cumsum(
+        np.fromiter((len(token_lists[token]) for token in tokens), dtype=np.int64, count=len(tokens)),
+        out=token_offsets[1:],
+    )
+    postings = np.fromiter(
+        (slot for token in tokens for slot in token_lists[token]),
+        dtype=np.int32,
+        count=int(token_offsets[-1]),
+    )
+    return _CompiledShard(tokens, token_offsets, postings)
+
+
+class _CompiledShard:
+    """One token-hash shard of a compiled index (CSR posting lists over slots)."""
+
+    __slots__ = ("tokens", "rows", "token_offsets", "postings")
+
+    def __init__(self, tokens: list[str], token_offsets: np.ndarray, postings: np.ndarray) -> None:
+        self.tokens = tokens
+        self.rows = {token: row for row, token in enumerate(tokens)}
+        self.token_offsets = token_offsets  # int64, len(tokens) + 1
+        self.postings = postings  # int32 slot ids, sorted within each row
+
+    def row_slots(self, token: str) -> np.ndarray | None:
+        row = self.rows.get(token)
+        if row is None:
+            return None
+        return self.postings[self.token_offsets[row] : self.token_offsets[row + 1]]
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.token_offsets.nbytes + self.postings.nbytes)
+
+
+class _CompiledIndex:
+    """Frozen numpy view of a :class:`SourceTokenIndex` (the query hot path).
+
+    Posting lists are addressed by **slot** (stable across mutations), so a
+    replayed delta dirties only the shards owning the mutated record's
+    tokens; the O(records) globals — per-slot token-set sizes and the
+    slot→id-order-position map (−1 for tombstones) — are refreshed on every
+    recompile, which keeps them exact without touching clean shards.
+    """
+
+    __slots__ = ("num_shards", "shards", "sizes", "slot_positions")
+
+    def __init__(
+        self,
+        num_shards: int,
+        shards: list[_CompiledShard],
+        sizes: np.ndarray,
+        slot_positions: np.ndarray,
+    ) -> None:
+        self.num_shards = num_shards
+        self.shards = shards
+        self.sizes = sizes  # int32 token-set size per slot
+        self.slot_positions = slot_positions  # int64 id-order position per slot
+
+    def row_slots(self, token: str) -> np.ndarray | None:
+        return self.shards[token_shard(token, self.num_shards)].row_slots(token)
+
+    @property
+    def nbytes(self) -> int:
+        total = int(self.sizes.nbytes + self.slot_positions.nbytes)
+        return total + sum(shard.nbytes for shard in self.shards)
 
 
 class SourceTokenIndex:
@@ -195,21 +366,46 @@ class SourceTokenIndex:
         self.queries = 0
         self.postings_visited = 0
         self.candidates_pruned = 0
+        self.compile_ms = 0.0
         self._built_hash: str | None = None
         self._built_version: int | None = None
         #: Shallow snapshot of ``source.records`` at validation time.  Holding
         #: the references keeps the objects alive, so identity comparison
         #: against the live list is a sound (and C-speed) freshness fast path.
         self._snapshot: list[Record] | None = None
-        # Slot-addressed stores (tombstoned on removal):
+        # Slot-addressed stores (tombstoned on removal).  ``_slot_tokens`` /
+        # ``_postings`` are ``None`` while the dict representation is
+        # *deferred* — a warm npz load or a sharded parallel build installs
+        # only the compiled arrays, and :meth:`_ensure_dict_state`
+        # materialises the mutable form on first need (replay, canonical
+        # save, dict traversal).
         self._slots: list[Record | None] = []
-        self._slot_tokens: list[frozenset[str]] = []
-        self._postings: dict[str, list[int]] = {}
+        self._slot_tokens: list[frozenset[str]] | None = []
+        self._postings: dict[str, list[int]] | None = {}
         self._tombstones = 0
         # Canonical id-order views (parallel arrays, maintained by bisect):
         self._records: list[Record] = []
         self._ids: list[str] = []
         self._id_slots: list[int] = []
+        # Compiled numpy view (frozen from the dict state, or installed
+        # directly by a warm load / parallel build); ``_dirty_tokens``
+        # accumulates replayed posting edits so only touched shards recompile.
+        self._compiled: _CompiledIndex | None = None
+        self._dirty_tokens: set[str] = set()
+        #: True once a replay committed against an existing compiled view:
+        #: the O(records) globals (sizes, slot→position) must refresh even
+        #: when no posting list changed (e.g. an empty-token insert still
+        #: shifts id-order positions).
+        self._compiled_stale = False
+        #: Per-record sorted token-id rows from a warm npz load:
+        #: ``(token_table, arena_offsets, arena_tokens)`` — lets
+        #: ``_ensure_dict_state`` rebuild frozensets without re-tokenising.
+        self._lazy_arena: tuple[list[str], np.ndarray, np.ndarray] | None = None
+
+    @property
+    def bytes_resident(self) -> int:
+        """Bytes held by the compiled arrays (0 while only the dict exists)."""
+        return self._compiled.nbytes if self._compiled is not None else 0
 
     @property
     def stats(self) -> IndexStats:
@@ -221,6 +417,8 @@ class SourceTokenIndex:
             queries=self.queries,
             postings_visited=self.postings_visited,
             candidates_pruned=self.candidates_pruned,
+            bytes_resident=self.bytes_resident,
+            compile_ms=self.compile_ms,
         )
 
     # ------------------------------------------------------------------ build
@@ -234,33 +432,31 @@ class SourceTokenIndex:
         """(Re)derive the index for the source's current content.
 
         With an artifact store attached, a persisted index for this exact
-        content hash is warm-loaded (counted under ``loads``); otherwise the
-        token sets are derived from scratch (``builds``) and the result is
-        saved back so the *next* process starts warm.
+        content hash is warm-loaded (counted under ``loads``) — installing
+        the compiled arrays directly (often memory-mapped) and *deferring*
+        the dict representation until a mutation or dict traversal actually
+        needs it.  Otherwise the token sets are derived from scratch
+        (``builds``) and the result is saved back so the *next* process
+        starts warm.
         """
         records = sorted(self.source.records, key=lambda record: record.record_id)
         ids = [record.record_id for record in records]
         store = self._artifact_store()
-        token_sets: list[frozenset[str]] | None = None
-        postings: dict[str, list[int]] | None = None
+        self._compiled = None
+        self._dirty_tokens = set()
+        self._compiled_stale = False
+        self._lazy_arena = None
         if store is not None:
             payload = store.load_source_index(content_hash, self.min_token_length, ids)
-            if payload is not None:
-                token_sets = self._install_loaded_token_sets(records, payload["token_lines"])
-                if token_sets is not None:
-                    # The parsed payload is exclusively ours: adopt its posting
-                    # lists verbatim instead of re-deriving them from the sets.
-                    postings = payload["postings"]
-        loaded = token_sets is not None
-        if token_sets is None:
-            token_sets = [
-                interned_blocking_tokens(record, self.min_token_length) for record in records
-            ]
-        if postings is None:
-            postings = {}
-            for position, tokens in enumerate(token_sets):
-                for token in tokens:
-                    postings.setdefault(token, []).append(position)
+            if payload is not None and self._install_loaded_arrays(records, ids, payload):
+                self._built_hash = content_hash
+                self.loads += 1
+                return
+        token_sets = self._derive_token_sets(records)
+        postings: dict[str, list[int]] = {}
+        for position, tokens in enumerate(token_sets):
+            for token in tokens:
+                postings.setdefault(token, []).append(position)
         self._records = records
         self._ids = ids
         # Freshly built, slots coincide with id-order positions.
@@ -270,42 +466,136 @@ class SourceTokenIndex:
         self._postings = postings
         self._tombstones = 0
         self._built_hash = content_hash
-        if loaded:
-            self.loads += 1
-        else:
-            self.builds += 1
-            if store is not None:
-                store.save_source_index(
-                    self.source.name, content_hash, self.min_token_length,
-                    ids, token_sets, postings,
-                )
+        self.builds += 1
+        if store is not None:
+            store.save_source_index(
+                self.source.name, content_hash, self.min_token_length,
+                ids, token_sets, postings,
+            )
 
-    def _install_loaded_token_sets(
-        self, records: list[Record], token_lines: list[str]
-    ) -> list[frozenset[str]] | None:
-        """Token sets from a persisted payload, spot-checked before adoption.
+    def _derive_token_sets(self, records: list[Record]) -> list[frozenset[str]]:
+        """Blocking-token sets for a cold build (interned below the size cap).
+
+        Byte-identical derivations either way; past
+        ``_INTERN_CACHE_RECORD_LIMIT`` records the process-lifetime interning
+        cache is bypassed so a one-shot million-record build does not pin the
+        source's whole token universe in memory.
+        """
+        if len(records) <= _INTERN_CACHE_RECORD_LIMIT:
+            return [
+                interned_blocking_tokens(record, self.min_token_length) for record in records
+            ]
+        minimum = self.min_token_length
+        return [
+            frozenset(token for token in tokenize(record.as_text()) if len(token) >= minimum)
+            for record in records
+        ]
+
+    def _install_loaded_arrays(self, records: list[Record], ids: list[str], payload: dict) -> bool:
+        """Adopt a persisted npz payload: compiled view now, dict state deferred.
 
         A small sample of records is re-derived through the live tokeniser
-        and compared against the stored sets: a mismatch (e.g. a tokeniser
-        change that forgot to bump the artifact schema version) rejects the
-        whole payload, so the caller rebuilds instead of silently reusing
-        stale derivations.  The interning cache is *not* eagerly seeded —
-        ad-hoc queries intern on first use, exactly as they do against a
-        built index — keeping the install a single C-speed pass per record.
+        and compared against the stored arena rows: a mismatch (e.g. a
+        tokeniser change that forgot to bump the artifact schema version)
+        rejects the whole payload, so the caller rebuilds instead of
+        silently reusing stale derivations.  On success the payload's CSR
+        arrays — possibly zero-copy memmap views — become the compiled
+        index (freshly loaded, slots coincide with id-order positions), and
+        the token-id arena is kept so :meth:`_ensure_dict_state` can
+        materialise frozensets later without re-tokenising.
         """
-        if not records:
-            return []
-        sample_positions = {0, len(records) // 2, len(records) - 1}
-        for position in sample_positions:
-            expected = frozenset(
-                token
-                for token in tokenize(records[position].as_text())
-                if len(token) >= self.min_token_length
+        token_table: list[str] = payload["tokens"]
+        arena_offsets = payload["arena_offsets"]
+        arena_tokens = payload["arena_tokens"]
+        if records:
+            for position in {0, len(records) // 2, len(records) - 1}:
+                expected = frozenset(
+                    token
+                    for token in tokenize(records[position].as_text())
+                    if len(token) >= self.min_token_length
+                )
+                row = arena_tokens[int(arena_offsets[position]) : int(arena_offsets[position + 1])]
+                if frozenset(token_table[token_id] for token_id in row) != expected:
+                    return False
+        shard_offsets = payload["shard_offsets"]
+        token_offsets = payload["token_offsets"]
+        flat_postings = payload["postings"]
+        num_shards = int(payload["num_shards"])
+        shards: list[_CompiledShard] = []
+        for shard in range(num_shards):
+            first = int(shard_offsets[shard])
+            last = int(shard_offsets[shard + 1])
+            local_offsets = np.asarray(token_offsets[first : last + 1], dtype=np.int64)
+            base = int(local_offsets[0])
+            shards.append(
+                _CompiledShard(
+                    token_table[first:last],
+                    local_offsets - base,
+                    flat_postings[base : int(token_offsets[last])],
+                )
             )
-            line = token_lines[position]
-            if frozenset(line.split(" ") if line else ()) != expected:
-                return None
-        return [frozenset(line.split(" ")) if line else frozenset() for line in token_lines]
+        count = len(records)
+        self._records = records
+        self._ids = ids
+        self._slots = list(records)
+        self._id_slots = list(range(count))
+        self._slot_tokens = None
+        self._postings = None
+        self._tombstones = 0
+        self._lazy_arena = (token_table, np.asarray(arena_offsets), np.asarray(arena_tokens))
+        self._compiled = _CompiledIndex(
+            num_shards,
+            shards,
+            np.diff(arena_offsets).astype(np.int32),
+            np.arange(count, dtype=np.int64),
+        )
+        self._dirty_tokens = set()
+        return True
+
+    def _ensure_dict_state(self) -> None:
+        """Materialise the mutable dict representation when it was deferred.
+
+        Token sets come from the warm-load arena when one exists (no
+        re-tokenisation); after a sharded parallel build — which never sees
+        per-record token sets in the parent — they are recovered by
+        inverting the compiled posting rows, which is derivation-equivalent
+        because the rows were themselves derived from the same token sets.
+        """
+        if self._postings is not None and self._slot_tokens is not None:
+            return
+        count = len(self._records)
+        if self._lazy_arena is not None:
+            token_table, arena_offsets, arena_tokens = self._lazy_arena
+            self._slot_tokens = [
+                frozenset(
+                    token_table[token_id]
+                    for token_id in arena_tokens[int(arena_offsets[position]) : int(arena_offsets[position + 1])]
+                )
+                for position in range(count)
+            ]
+        elif self._compiled is not None:
+            slot_lists: list[list[str]] = [[] for _ in range(count)]
+            for shard in self._compiled.shards:
+                offsets = shard.token_offsets
+                for row, token in enumerate(shard.tokens):
+                    for slot in shard.postings[offsets[row] : offsets[row + 1]].tolist():
+                        slot_lists[slot].append(token)
+            self._slot_tokens = [frozenset(tokens) for tokens in slot_lists]
+        else:  # pragma: no cover - deferred state always has a compiled origin
+            self._slot_tokens = self._derive_token_sets(self._records)
+        if self._compiled is not None:
+            postings: dict[str, list[int]] = {}
+            for shard in self._compiled.shards:
+                offsets = shard.token_offsets
+                for row, token in enumerate(shard.tokens):
+                    postings[token] = shard.postings[offsets[row] : offsets[row + 1]].tolist()
+        else:  # pragma: no cover - symmetric fallback
+            postings = {}
+            for slot, tokens in enumerate(self._slot_tokens):
+                for token in tokens:
+                    postings.setdefault(token, []).append(slot)
+        self._postings = postings
+        self._lazy_arena = None
 
     def canonical_state(self) -> tuple[list[str], list[frozenset[str]], dict[str, list[int]]]:
         """The index content in build-canonical form: ``(ids, token_sets, postings)``.
@@ -318,6 +608,7 @@ class SourceTokenIndex:
         same artifact a rebuilt one would) and what the differential fuzz
         suite compares against rebuild-from-scratch.
         """
+        self._ensure_dict_state()
         slot_positions = {slot: position for position, slot in enumerate(self._id_slots)}
         postings = {
             token: sorted(slot_positions[slot] for slot in slots)
@@ -430,11 +721,19 @@ class SourceTokenIndex:
         from the built hash and the deltas' record digests — O(deltas), not
         O(records).
         """
+        self._ensure_dict_state()
+        pending = _PendingPostings(self._postings)
         try:
             for delta in deltas:
-                self._apply_delta(delta)
+                self._apply_delta(delta, pending)
         except _DeltaReplayError:
+            # Posting-list edits were only buffered, so the dict lists are
+            # untouched; the slot/id-array edits already applied are repaired
+            # by the rebuild the caller now performs.
             return None
+        touched = pending.commit()
+        self._dirty_tokens |= touched
+        self._compiled_stale = True
         self.delta_applies += len(deltas)
         return combine_content_hash(
             self._built_hash,
@@ -442,17 +741,17 @@ class SourceTokenIndex:
             added=[delta.new for delta in deltas if delta.new is not None],
         )
 
-    def _apply_delta(self, delta: SourceDelta) -> None:
+    def _apply_delta(self, delta: SourceDelta, pending: _PendingPostings) -> None:
         if delta.op == "add" and delta.new is not None:
-            self._insert_record(delta.new)
+            self._insert_record(delta.new, pending)
         elif delta.op == "remove" and delta.old is not None:
-            self._delete_record(delta.old)
+            self._delete_record(delta.old, pending)
         elif delta.op == "update" and delta.old is not None and delta.new is not None:
-            self._replace_record(delta.old, delta.new)
+            self._replace_record(delta.old, delta.new, pending)
         else:
             raise _DeltaReplayError(f"malformed delta {delta.op!r}")
 
-    def _insert_record(self, record: Record) -> None:
+    def _insert_record(self, record: Record, pending: _PendingPostings) -> None:
         position = bisect.bisect_left(self._ids, record.record_id)
         if position < len(self._ids) and self._ids[position] == record.record_id:
             raise _DeltaReplayError(f"duplicate id {record.record_id!r} in replay")
@@ -464,15 +763,15 @@ class SourceTokenIndex:
         self._id_slots.insert(position, slot)
         self._records.insert(position, record)
         for token in tokens:
-            # The new slot is the largest ever issued, so insort appends.
-            bisect.insort(self._postings.setdefault(token, []), slot)
+            pending.add(token, slot)
 
-    def _delete_record(self, old: Record) -> None:
+    def _delete_record(self, old: Record, pending: _PendingPostings) -> None:
         position = bisect.bisect_left(self._ids, old.record_id)
         if position == len(self._ids) or self._ids[position] != old.record_id:
             raise _DeltaReplayError(f"unknown id {old.record_id!r} in replay")
         slot = self._id_slots[position]
-        self._remove_slot_postings(slot)
+        for token in self._slot_tokens[slot]:
+            pending.remove(token, slot)
         del self._ids[position]
         del self._id_slots[position]
         del self._records[position]
@@ -480,7 +779,7 @@ class SourceTokenIndex:
         self._slot_tokens[slot] = frozenset()
         self._tombstones += 1
 
-    def _replace_record(self, old: Record, new: Record) -> None:
+    def _replace_record(self, old: Record, new: Record, pending: _PendingPostings) -> None:
         position = bisect.bisect_left(self._ids, new.record_id)
         if position == len(self._ids) or self._ids[position] != new.record_id:
             raise _DeltaReplayError(f"unknown id {new.record_id!r} in replay")
@@ -490,27 +789,12 @@ class SourceTokenIndex:
         old_tokens = self._slot_tokens[slot]
         new_tokens = interned_blocking_tokens(new, self.min_token_length)
         for token in old_tokens - new_tokens:
-            self._remove_posting(token, slot)
+            pending.remove(token, slot)
         for token in new_tokens - old_tokens:
-            bisect.insort(self._postings.setdefault(token, []), slot)
+            pending.add(token, slot)
         self._slots[slot] = new
         self._slot_tokens[slot] = new_tokens
         self._records[position] = new
-
-    def _remove_slot_postings(self, slot: int) -> None:
-        for token in self._slot_tokens[slot]:
-            self._remove_posting(token, slot)
-
-    def _remove_posting(self, token: str, slot: int) -> None:
-        slots = self._postings.get(token)
-        if not slots:
-            raise _DeltaReplayError(f"posting list for {token!r} missing in replay")
-        index = bisect.bisect_left(slots, slot)
-        if index == len(slots) or slots[index] != slot:
-            raise _DeltaReplayError(f"slot {slot} not posted under {token!r}")
-        del slots[index]
-        if not slots:
-            del self._postings[token]
 
     def _refresh_live_records(self, records_list: list[Record]) -> None:
         """Serve live record objects after a content-equal identity change."""
@@ -518,6 +802,127 @@ class SourceTokenIndex:
         self._records = live_sorted
         for position, record in enumerate(live_sorted):
             self._slots[self._id_slots[position]] = record
+
+    # -------------------------------------------------------------- compiling
+
+    def _ensure_compiled(self) -> _CompiledIndex:
+        """The compiled numpy view, (re)frozen from the dict state as needed.
+
+        A full compile groups every posting list into its token-hash shard;
+        after a replay only the shards owning dirtied tokens are recompiled —
+        posting rows address records by stable *slot*, so clean shards stay
+        valid verbatim.  The O(records) globals (per-slot set sizes, the
+        slot→position map with −1 tombstones) refresh on every pass.
+        """
+        compiled = self._compiled
+        if compiled is not None and not self._compiled_stale:
+            return compiled
+        self._ensure_dict_state()
+        started = time.perf_counter()
+        num_shards = compiled.num_shards if compiled is not None else DEFAULT_INDEX_SHARDS
+        if compiled is None:
+            grouped: dict[int, dict[str, list[int]]] = {
+                shard: {} for shard in range(num_shards)
+            }
+            for token, slots in self._postings.items():
+                grouped[token_shard(token, num_shards)][token] = slots
+            shards = [_compile_shard_arrays(grouped[shard]) for shard in range(num_shards)]
+        else:
+            shards = list(compiled.shards)
+            dirty_shards = {token_shard(token, num_shards) for token in self._dirty_tokens}
+            if dirty_shards:
+                grouped = {shard: {} for shard in dirty_shards}
+                for token, slots in self._postings.items():
+                    shard = token_shard(token, num_shards)
+                    if shard in grouped:
+                        grouped[shard][token] = slots
+                for shard in dirty_shards:
+                    shards[shard] = _compile_shard_arrays(grouped[shard])
+        slot_count = len(self._slots)
+        sizes = np.fromiter(
+            (len(tokens) for tokens in self._slot_tokens), dtype=np.int32, count=slot_count
+        )
+        slot_positions = np.full(slot_count, -1, dtype=np.int64)
+        for position, slot in enumerate(self._id_slots):
+            slot_positions[slot] = position
+        self._compiled = _CompiledIndex(num_shards, shards, sizes, slot_positions)
+        self._dirty_tokens = set()
+        self._compiled_stale = False
+        self.compile_ms += (time.perf_counter() - started) * 1000.0
+        return self._compiled
+
+    def build_sharded(
+        self,
+        runner: "SweepRunner | None" = None,
+        num_shards: int = DEFAULT_INDEX_SHARDS,
+        chunk_count: int | None = None,
+    ) -> None:
+        """Build the index by token-hash shards through a :class:`SweepRunner`.
+
+        Two task waves run through ``runner.map_tasks`` (serial, threads or
+        processes): ``index.tokenize_chunk`` tokenises contiguous record
+        chunks and partitions their (token → positions) maps by shard, then
+        ``index.compile_shard`` merges each shard's partials — chunk order
+        preserves ascending positions, so concatenation stays sorted — into
+        frozen CSR arrays.  The result installs as the compiled view with
+        the dict representation deferred (the parent never materialises
+        per-record token sets), which is what lets a process-pool build beat
+        a single-threaded one on multi-core hosts.
+        """
+        if runner is None:
+            from repro.eval.runner import SweepRunner
+
+            runner = SweepRunner(executor="serial")
+        records = sorted(self.source.records, key=lambda record: record.record_id)
+        ids = [record.record_id for record in records]
+        texts = [record.as_text() for record in records]
+        if chunk_count is None:
+            chunk_count = max(1, min(os.cpu_count() or 1, 16))
+        chunk = max(1, -(-len(texts) // chunk_count)) if texts else 1
+        payloads = [
+            (texts[start : start + chunk], start, self.min_token_length, num_shards)
+            for start in range(0, len(texts), chunk)
+        ]
+        started = time.perf_counter()
+        chunk_results = runner.map_tasks("index.tokenize_chunk", payloads)
+        sizes: list[int] = []
+        shard_partials: list[list[dict[str, list[int]]]] = [[] for _ in range(num_shards)]
+        for chunk_sizes, partials in chunk_results:
+            sizes.extend(chunk_sizes)
+            for shard in range(num_shards):
+                if partials[shard]:
+                    shard_partials[shard].append(partials[shard])
+        shard_rows = runner.map_tasks("index.compile_shard", shard_partials)
+        shards = [
+            _CompiledShard(
+                tokens,
+                np.ascontiguousarray(token_offsets, dtype=np.int64),
+                np.ascontiguousarray(postings, dtype=np.int32),
+            )
+            for tokens, token_offsets, postings in shard_rows
+        ]
+        count = len(records)
+        self._records = records
+        self._ids = ids
+        self._slots = list(records)
+        self._id_slots = list(range(count))
+        self._slot_tokens = None
+        self._postings = None
+        self._lazy_arena = None
+        self._tombstones = 0
+        self._compiled = _CompiledIndex(
+            num_shards,
+            shards,
+            np.asarray(sizes, dtype=np.int32),
+            np.arange(count, dtype=np.int64),
+        )
+        self._dirty_tokens = set()
+        self._compiled_stale = False
+        self.compile_ms += (time.perf_counter() - started) * 1000.0
+        self._built_hash = self.source.content_hash()
+        self._built_version = getattr(self.source, "data_version", None)
+        self._snapshot = list(self.source.records)
+        self.builds += 1
 
     # ---------------------------------------------------------------- reading
 
@@ -534,6 +939,7 @@ class SourceTokenIndex:
     def token_set(self, record_id: str) -> frozenset[str]:
         """The interned blocking-token set of an index record."""
         self.ensure_fresh()
+        self._ensure_dict_state()
         position = self._position(record_id)
         return self._slot_tokens[self._id_slots[position]]
 
@@ -545,9 +951,23 @@ class SourceTokenIndex:
         """Yield ``(token, record_ids)`` for every indexed token (one traversal).
 
         Counted as one query; postings visited covers every id yielded.
+        While the dict representation is deferred the compiled shards are
+        traversed directly (same pairs, shard-major token order) so a blocking
+        pass over a warm-loaded or parallel-built index never forces the
+        dict materialisation.
         """
         self.ensure_fresh()
         self.queries += 1
+        if self._postings is None and self._compiled is not None:
+            slots_store = self._slots
+            for shard in self._compiled.shards:
+                offsets = shard.token_offsets
+                for row, token in enumerate(shard.tokens):
+                    slot_list = shard.postings[offsets[row] : offsets[row + 1]].tolist()
+                    self.postings_visited += len(slot_list)
+                    yield token, [slots_store[slot].record_id for slot in slot_list]
+            return
+        self._ensure_dict_state()
         for token, slots in self._postings.items():
             self.postings_visited += len(slots)
             yield token, [self._slots[slot].record_id for slot in slots]
@@ -555,6 +975,10 @@ class SourceTokenIndex:
     def document_frequency(self, token: str) -> int:
         """Number of records containing ``token``."""
         self.ensure_fresh()
+        if self._postings is None and self._compiled is not None:
+            row = self._compiled.row_slots(token)
+            return 0 if row is None else int(row.size)
+        self._ensure_dict_state()
         return len(self._postings.get(token, ()))
 
     def _position(self, record_id: str) -> int:
@@ -570,6 +994,7 @@ class SourceTokenIndex:
         query: Record,
         k: int | None = None,
         exclude_ids: Iterable[str] = (),
+        tiered: bool | None = None,
     ) -> list[Record]:
         """The exact top-``k`` records by Jaccard overlap with ``query``.
 
@@ -579,20 +1004,29 @@ class SourceTokenIndex:
         zero-overlap records filling remaining slots in id order.  ``k=None``
         ranks the whole source.
 
-        Traversal is df-weighted: query tokens are processed rarest first, so
-        low-selectivity tokens (the ones blocking would call stop words) are
-        only walked when cheaper tokens could not already settle the top-k.
-        After ``i`` of ``|Q|`` tokens, a record sharing none of the processed
-        tokens has Jaccard at most ``(|Q| - i) / |Q|``; once the k-th best
-        *exact* score strictly beats that bound, no unseen record can enter
-        the result and the remaining posting lists are skipped.  The same
-        reasoning prunes *per candidate*: a record first seen at token ``i``
-        shares none of tokens ``0..i-1``, so its Jaccard is at most
-        ``(|Q| - i) / (|T| + i)`` — when that bound is strictly below the
-        k-th best exact score, the record is marked seen without ever being
-        scored.  (Float rounding is monotone, so the computed bound dominates
-        the computed exact score and the skip can never drop a tie-breaking
-        candidate — results stay byte-identical to the scan.)
+        ``tiered`` selects the traversal, never the result: ``False`` walks
+        the dict posting lists (the exact golden reference), ``True`` runs
+        the tiered approximate-then-exact ranker over the compiled arrays
+        (:meth:`_top_k_compiled`), and ``None`` — the default every caller
+        uses — picks the compiled route once the source is large enough
+        (``COMPILED_MIN_RECORDS``) or a compiled view already exists.  Both
+        routes are byte-identical to each other and to the scan; the fuzz
+        and property suites assert all three pairwise.
+
+        The dict traversal is df-weighted: query tokens are processed rarest
+        first, so low-selectivity tokens (the ones blocking would call stop
+        words) are only walked when cheaper tokens could not already settle
+        the top-k.  After ``i`` of ``|Q|`` tokens, a record sharing none of
+        the processed tokens has Jaccard at most ``(|Q| - i) / |Q|``; once
+        the k-th best *exact* score strictly beats that bound, no unseen
+        record can enter the result and the remaining posting lists are
+        skipped.  The same reasoning prunes *per candidate*: a record first
+        seen at token ``i`` shares none of tokens ``0..i-1``, so its Jaccard
+        is at most ``(|Q| - i) / (|T| + i)`` — when that bound is strictly
+        below the k-th best exact score, the record is marked seen without
+        ever being scored.  (Float rounding is monotone, so the computed
+        bound dominates the computed exact score and the skip can never drop
+        a tie-breaking candidate — results stay byte-identical to the scan.)
         """
         self.ensure_fresh()
         self.queries += 1
@@ -606,6 +1040,20 @@ class SourceTokenIndex:
             self.candidates_pruned += len(self._records)
             return []
 
+        use_compiled = (
+            tiered
+            if tiered is not None
+            else self._compiled is not None or len(self._records) >= COMPILED_MIN_RECORDS
+        )
+        if use_compiled:
+            return self._top_k_compiled(query_set, total, wanted, excluded)
+        return self._top_k_dict(query_set, total, wanted, excluded)
+
+    def _top_k_dict(
+        self, query_set: frozenset[str], total: int, wanted: int, excluded: set[str]
+    ) -> list[Record]:
+        """Exact top-k over the dict posting lists (the golden fast path)."""
+        self._ensure_dict_state()
         postings = self._postings
         slots_store = self._slots
         slot_tokens = self._slot_tokens
@@ -672,6 +1120,141 @@ class SourceTokenIndex:
         self.candidates_pruned += len(self._records) - len(scores)
         return result
 
+    def _top_k_compiled(
+        self, query_set: frozenset[str], total: int, wanted: int, excluded: set[str]
+    ) -> list[Record]:
+        """Tiered approximate-then-exact top-k over the compiled arrays.
+
+        **Tier 1 (approximate)** walks only a rarest-first *prefix* of the
+        query tokens' posting rows — a classic prefix/length filter — and
+        pools every slot they mention (one ``np.concatenate`` +
+        ``np.unique``).  **Tier 2 (exact)** completes the pool's overlap
+        counts against the skipped rows by binary-search probes
+        (``np.searchsorted``), so every pooled candidate gets its *exact*
+        Jaccard, then ranks by ``(-score, id-order position)``.  A record
+        outside the pool shares none of the ``p`` prefix tokens, bounding its
+        score by ``(L - p) / |Q|`` (``L`` = query tokens present in the
+        index); the result stands only if the k-th exact score strictly
+        beats that bound — otherwise the pass re-runs with the full prefix,
+        which is unconditionally exact.  Rounding is monotone (scores and
+        bound are correctly-rounded rationals), so the acceptance test can
+        never admit an approximation: results are byte-identical to
+        :meth:`_top_k_dict` and the scan reference.
+        """
+        compiled = self._ensure_compiled()
+        records = self._records
+        count = len(records)
+        rows = []
+        for token in query_set:
+            slots = compiled.row_slots(token)
+            if slots is not None and slots.size:
+                rows.append((int(slots.size), token, slots))
+        rows.sort(key=lambda item: (item[0], item[1]))
+        present = len(rows)
+
+        result: list[Record] = []
+        if not rows:
+            for position, record_id in enumerate(self._ids):
+                if record_id in excluded:
+                    continue
+                result.append(records[position])
+                if len(result) >= wanted:
+                    break
+            self.candidates_pruned += count - len(result)
+            return result
+
+        excluded_positions = (
+            np.array(
+                sorted(self._position(record_id) for record_id in excluded if self._has(record_id)),
+                dtype=np.int64,
+            )
+            if excluded
+            else None
+        )
+        sizes = compiled.sizes
+        slot_positions = compiled.slot_positions
+
+        # Tier-1 prefix: enough rare rows to plausibly cover the top-k; the
+        # exactness check below re-runs with the full prefix if they did not.
+        prefix = present
+        if wanted < count and present > 1:
+            target = max(64, 4 * wanted)
+            cumulative = 0
+            prefix = 0
+            for df, _, _ in rows:
+                prefix += 1
+                cumulative += df
+                if cumulative >= target:
+                    break
+
+        slot_count = sizes.shape[0]
+        while True:
+            pooled = np.concatenate([slots for _, _, slots in rows[:prefix]])
+            self.postings_visited += int(pooled.size)
+            if pooled.size >= slot_count // 16:
+                # Dense pool: one O(slots) histogram beats the O(P log P)
+                # sort inside np.unique.
+                full_counts = np.bincount(pooled, minlength=slot_count)
+                cand = np.nonzero(full_counts)[0].astype(pooled.dtype)
+                counts = full_counts[cand]
+            else:
+                cand, counts = np.unique(pooled, return_counts=True)
+                counts = counts.astype(np.int64)
+            for _, _, slots in rows[prefix:]:
+                probe = np.searchsorted(slots, cand)
+                hit = probe < slots.size
+                if hit.any():
+                    hit[hit] = slots[probe[hit]] == cand[hit]
+                    counts += hit
+                self.postings_visited += int(cand.size)
+            positions = slot_positions[cand]
+            if excluded_positions is not None and excluded_positions.size:
+                mask = ~np.isin(positions, excluded_positions)
+                kept_counts = counts[mask]
+                kept_positions = positions[mask]
+                kept_sizes = sizes[cand[mask]].astype(np.int64)
+            else:
+                kept_counts = counts
+                kept_positions = positions
+                kept_sizes = sizes[cand].astype(np.int64)
+            scores = kept_counts / (total + kept_sizes - kept_counts)
+            if wanted > 0 and scores.size > 4 * wanted:
+                # Select-then-sort: every candidate scoring strictly above the
+                # `wanted`-th largest value is in the top-k; ties at that value
+                # are broken by id-order position.  Sorting only that superset
+                # is exact and avoids a full lexsort of the candidate pool.
+                kth_value = np.partition(scores, scores.size - wanted)[scores.size - wanted]
+                selected = np.nonzero(scores >= kth_value)[0]
+                local = np.lexsort((kept_positions[selected], -scores[selected]))
+                top = selected[local[:wanted]]
+            else:
+                order = np.lexsort((kept_positions, -scores))
+                top = order[:wanted]
+            if prefix >= present:
+                break
+            if top.size >= wanted:
+                kth = float(scores[top[-1]])
+                if kth > (present - prefix) / total:
+                    break
+            prefix = present
+
+        result = [records[int(kept_positions[index])] for index in top]
+        pool_count = int(cand.size)
+        fills = 0
+        if len(result) < wanted:
+            # Only reachable with the full prefix: every non-pool record
+            # provably has zero overlap, so the scan's id-order fill applies.
+            seen_positions = set(map(int, positions))
+            for position, record_id in enumerate(self._ids):
+                if position in seen_positions or record_id in excluded:
+                    continue
+                result.append(records[position])
+                fills += 1
+                if len(result) >= wanted:
+                    break
+        self.candidates_pruned += count - pool_count - fills
+        return result
+
     def _has(self, record_id: str) -> bool:
         try:
             self._position(record_id)
@@ -693,6 +1276,16 @@ class SourceTokenIndex:
         self.ensure_fresh()
         self.queries += 1
         found: set[str] = set()
+        if self._postings is None and self._compiled is not None:
+            for token in tokens:
+                row = self._compiled.row_slots(token)
+                if row is None:
+                    continue
+                self.postings_visited += int(row.size)
+                for slot in row.tolist():
+                    found.add(self._slots[slot].record_id)
+            return found
+        self._ensure_dict_state()
         for token in tokens:
             slots = self._postings.get(token, ())
             self.postings_visited += len(slots)
@@ -760,6 +1353,65 @@ def changed_pairs(
     }
 
 
+def build_sharded_index(
+    source: DataSource,
+    min_token_length: int = DEFAULT_BLOCKING_TOKEN_LENGTH,
+    runner: "SweepRunner | None" = None,
+    num_shards: int = DEFAULT_INDEX_SHARDS,
+    chunk_count: int | None = None,
+) -> SourceTokenIndex:
+    """Build (or rebuild) ``source``'s shared index by parallel token-hash shards.
+
+    Convenience wrapper over :meth:`SourceTokenIndex.build_sharded` on the
+    same per-source cached instance :func:`get_source_index` returns, so the
+    parallel build feeds every downstream consumer (blocking, triangles,
+    ``top_k``) exactly like a lazy single-threaded one — just sooner.
+    """
+    index = get_source_index(source, min_token_length)
+    index.build_sharded(runner=runner, num_shards=num_shards, chunk_count=chunk_count)
+    return index
+
+
+def _tokenize_chunk_task(payload: tuple) -> tuple[list[int], list[dict[str, list[int]]]]:
+    """``index.tokenize_chunk``: derive one record chunk's shard-partitioned postings.
+
+    ``payload`` is ``(texts, base_position, min_token_length, num_shards)``;
+    returns per-record token-set sizes plus, per shard, a
+    ``token -> ascending positions`` partial map.  Derivation matches
+    :func:`interned_blocking_tokens` exactly (same tokeniser, same length
+    filter) without touching the interning cache — worker processes are
+    throwaway, and chunk-local dicts keep the pickled result small.
+    """
+    texts, base_position, min_token_length, num_shards = payload
+    sizes: list[int] = []
+    partials: list[dict[str, list[int]]] = [{} for _ in range(num_shards)]
+    for offset, text in enumerate(texts):
+        token_set = frozenset(
+            token for token in tokenize(text) if len(token) >= min_token_length
+        )
+        sizes.append(len(token_set))
+        position = base_position + offset
+        for token in token_set:
+            partials[token_shard(token, num_shards)].setdefault(token, []).append(position)
+    return sizes, partials
+
+
+def _compile_shard_task(partials: list[dict[str, list[int]]]) -> tuple:
+    """``index.compile_shard``: merge one shard's chunk partials into CSR arrays.
+
+    Partials arrive in ascending chunk order, so extending keeps every
+    posting row sorted without a per-row sort.  Returns ``(tokens,
+    token_offsets, postings)`` — plain pickle-friendly values the parent
+    wraps back into a ``_CompiledShard``.
+    """
+    merged: dict[str, list[int]] = {}
+    for partial in partials:
+        for token, positions in partial.items():
+            merged.setdefault(token, []).extend(positions)
+    shard = _compile_shard_arrays(merged)
+    return shard.tokens, shard.token_offsets, shard.postings
+
+
 def get_source_index(source: DataSource, min_token_length: int) -> SourceTokenIndex:
     """The shared :class:`SourceTokenIndex` of ``source`` for ``min_token_length``.
 
@@ -780,3 +1432,17 @@ def get_source_index(source: DataSource, min_token_length: int) -> SourceTokenIn
         index = SourceTokenIndex(source, min_token_length)
         indexes[min_token_length] = index
     return index
+
+
+def _register_index_tasks() -> None:
+    """Register the built-in ``index.*`` tasks with the sweep runner.
+
+    Called lazily by ``repro.eval.runner.task_function`` (parent process and
+    pool workers alike) rather than at import time: ``repro.data`` imports
+    this module during package init, so a module-level runner import here
+    would re-enter the package cycle.
+    """
+    from repro.eval.runner import task_runner
+
+    task_runner("index.tokenize_chunk")(_tokenize_chunk_task)
+    task_runner("index.compile_shard")(_compile_shard_task)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.data.blocking import candidate_pairs
 from repro.data.dataset import ERDataset, build_dataset
@@ -214,6 +214,62 @@ ENTITY_GENERATORS: dict[str, Callable[[random.Random, int], dict[str, str]]] = {
     "music": _song_entity,
     "beer": _beer_entity,
 }
+
+
+# ---------------------------------------------------------------------------
+# Streaming record generation (million-record sources)
+# ---------------------------------------------------------------------------
+
+#: Golden-ratio multiplier decorrelating (seed, index) pairs into per-record
+#: RNG seeds; any odd 64-bit constant works, this one spreads consecutive
+#: indexes across the full seed space.
+_STREAM_SEED_MIX = 0x9E3779B97F4A7C15
+
+
+def synthetic_schema(domain: str = "product") -> Schema:
+    """The fixed schema of one entity domain's raw records.
+
+    Every generator in :data:`ENTITY_GENERATORS` emits the same attribute
+    keys for every entity, so probing one entity pins the schema that
+    :func:`iter_synthetic_records` builds records against.
+    """
+    if domain not in ENTITY_GENERATORS:
+        raise DatasetError(
+            f"unknown synthetic domain {domain!r}; available: {sorted(ENTITY_GENERATORS)}"
+        )
+    probe = ENTITY_GENERATORS[domain](random.Random(0), 0)
+    return Schema.from_names(probe.keys())
+
+
+def iter_synthetic_records(
+    count: int,
+    seed: int = 0,
+    domain: str = "product",
+    source_tag: str = "S",
+    id_prefix: str = "S",
+) -> Iterator[Record]:
+    """Yield ``count`` deterministic records without materialising them.
+
+    The scale feed for the million-record benchmarks: records stream one at
+    a time (pair with :meth:`repro.data.table.DataSource.from_iterable` to
+    ingest them chunk-wise), and record ``index`` is a pure function of
+    ``(seed, index)`` — each record draws from its own
+    ``random.Random`` seeded by a mix of the two — so any slice of the
+    stream can be regenerated independently, in any chunking, in any
+    process, and yields byte-identical records.  Ids are ``<id_prefix><index>``.
+    """
+    if count < 0:
+        raise DatasetError(f"record count must be non-negative, got {count}")
+    if domain not in ENTITY_GENERATORS:
+        raise DatasetError(
+            f"unknown synthetic domain {domain!r}; available: {sorted(ENTITY_GENERATORS)}"
+        )
+    generator = ENTITY_GENERATORS[domain]
+    schema = synthetic_schema(domain)
+    for index in range(count):
+        rng = random.Random(((seed + 1) * _STREAM_SEED_MIX) ^ index)
+        entity = generator(rng, index)
+        yield Record.from_raw(f"{id_prefix}{index}", entity, schema, source=source_tag)
 
 
 # ---------------------------------------------------------------------------

@@ -143,7 +143,11 @@ class DataSource:
         self._delta_log: deque[SourceDelta] = deque()
         #: value string -> number of records referencing it (see
         #: :func:`_record_strings`); drives ``retired_values`` accounting.
-        self._value_refs: Counter[str] = Counter()
+        #: Built lazily on the first mutation (:meth:`_ensure_value_refs`):
+        #: a read-only source — a million-record table streamed in through
+        #: :meth:`from_iterable` and only ever queried — never pays the
+        #: refcount pass or holds the value-string map resident.
+        self._value_refs: Counter[str] | None = None
         #: ``(data_version, records snapshot, hash int)`` — the cached content
         #: hash, validated by version *and* record identity before reuse.
         self._hash_state: tuple[int, list[Record], int] | None = None
@@ -157,7 +161,6 @@ class DataSource:
             self._validate(record)
             self._by_id[record.record_id] = record
             self._positions[record.record_id] = position
-            self._value_refs.update(_record_strings(record))
         if len(self._by_id) != len(self.records):
             raise DatasetError(f"duplicate record ids in data source {self.name!r}")
 
@@ -316,24 +319,46 @@ class DataSource:
         )
 
         retired: tuple[str, ...] = ()
-        if new is not None:
-            self._value_refs.update(_record_strings(new))
-        if old is not None:
-            gone: dict[str, None] = {}
-            for value in _record_strings(old):
-                remaining = self._value_refs[value] - 1
-                if remaining > 0:
-                    self._value_refs[value] = remaining
-                else:
-                    del self._value_refs[value]
-                    gone[value] = None
-            retired = tuple(gone)
+        refs = self._value_refs
+        if refs is None:
+            # First mutation on a lazily-initialised source: ``records``
+            # already reflects this mutation, so the freshly built map *is*
+            # the post-mutation state — retirement falls out of a membership
+            # check instead of the incremental decrement below.
+            refs = self._build_value_refs()
+            self._value_refs = refs
+            if old is not None:
+                seen: dict[str, None] = {}
+                for value in _record_strings(old):
+                    if value not in refs:
+                        seen.setdefault(value, None)
+                retired = tuple(seen)
+        else:
+            if new is not None:
+                refs.update(_record_strings(new))
+            if old is not None:
+                gone: dict[str, None] = {}
+                for value in _record_strings(old):
+                    remaining = refs[value] - 1
+                    if remaining > 0:
+                        refs[value] = remaining
+                    else:
+                        del refs[value]
+                        gone[value] = None
+                retired = tuple(gone)
 
         self._delta_log.append(
             SourceDelta(version=self._data_version, op=op, old=old, new=new, retired_values=retired)
         )
         while len(self._delta_log) > max(self.delta_log_limit, 0):
             self._delta_log.popleft()
+
+    def _build_value_refs(self) -> Counter[str]:
+        """Reference counts of every record's value strings (one full pass)."""
+        refs: Counter[str] = Counter()
+        for record in self.records:
+            refs.update(_record_strings(record))
+        return refs
 
     def _snapshot_still_current(
         self,
@@ -447,10 +472,11 @@ class DataSource:
         deltas = self.deltas_since(version)
         if deltas is None:
             return None
+        refs = self._value_refs if self._value_refs is not None else ()
         seen: dict[str, None] = {}
         for delta in deltas:
             for value in delta.retired_values:
-                if value not in self._value_refs:
+                if value not in refs:
                     seen.setdefault(value, None)
         return list(seen)
 
@@ -544,6 +570,49 @@ class DataSource:
                 "mean_tokens": (sum(token_lengths) / len(token_lengths)) if token_lengths else 0.0,
             }
         return stats
+
+    @classmethod
+    def from_iterable(
+        cls,
+        name: str,
+        schema: Schema,
+        records: Iterable[Record],
+        chunk_size: int = 50_000,
+        validate: bool = True,
+        delta_log_limit: int = DEFAULT_DELTA_LOG_LIMIT,
+    ) -> "DataSource":
+        """Build a source by draining an iterator of records in bounded chunks.
+
+        The streaming companion of the list constructor: ``records`` is
+        consumed ``chunk_size`` records at a time (so a generator such as
+        :func:`repro.data.synthetic.iter_synthetic_records` is never
+        materialised twice — once as an intermediate list, once inside the
+        source) and the id/position maps are grown chunk-wise instead of
+        record-by-record.  ``validate=False`` skips the per-record schema
+        check for generators that construct records against ``schema`` by
+        construction — at a million records the check is the dominant cost
+        of ingestion.  Duplicate ids raise ``DatasetError`` either way.
+        """
+        source = cls(name=name, schema=schema, records=[], delta_log_limit=delta_log_limit)
+        stored = source.records
+        by_id = source._by_id
+        positions = source._positions
+        iterator = iter(records)
+        while True:
+            chunk = list(islice(iterator, max(chunk_size, 1)))
+            if not chunk:
+                break
+            if validate:
+                for record in chunk:
+                    source._validate(record)
+            base = len(stored)
+            stored.extend(chunk)
+            for offset, record in enumerate(chunk):
+                by_id[record.record_id] = record
+                positions[record.record_id] = base + offset
+            if len(by_id) != len(stored):
+                raise DatasetError(f"duplicate record ids in data source {name!r}")
+        return source
 
     @classmethod
     def from_rows(

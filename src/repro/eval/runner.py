@@ -190,6 +190,49 @@ def experiment_function(name: str) -> ExperimentFunction:
         ) from exc
 
 
+# ------------------------------------------------------------------ plain tasks
+
+#: A plain data-parallel task body: one JSON/pickle-compatible payload in, one
+#: result out.  Unlike experiments, tasks need no harness — they are the
+#: substrate for library-internal fan-out such as the sharded parallel index
+#: build of :mod:`repro.data.indexing`.
+TaskFunction = Callable[[object], object]
+
+_TASKS: dict[str, TaskFunction] = {}
+
+
+def task_runner(name: str) -> Callable[[TaskFunction], TaskFunction]:
+    """Register ``function`` as the body of task ``name``.
+
+    The same registration-by-name contract as :func:`experiment_runner`:
+    worker processes receive only ``(name, payload)`` and resolve the function
+    locally, so nothing but picklable data crosses the process boundary.
+    """
+
+    def register(function: TaskFunction) -> TaskFunction:
+        _TASKS[name] = function
+        return function
+
+    return register
+
+
+def task_function(name: str) -> TaskFunction:
+    """The registered body for task ``name`` (importing the built-ins)."""
+    if name not in _TASKS:
+        from repro.data import indexing
+
+        indexing._register_index_tasks()
+    try:
+        return _TASKS[name]
+    except KeyError as exc:
+        raise EvaluationError(f"unknown task {name!r}; registered: {sorted(_TASKS)}") from exc
+
+
+def _run_task(name: str, payload: object) -> object:
+    """Worker-side task entry point (resolves the body by name)."""
+    return task_function(name)(payload)
+
+
 # -------------------------------------------------------------- unit execution
 
 
@@ -453,6 +496,31 @@ class SweepRunner:
         experiments = result.manifest()["experiments"] or ["run"]
         stem = self.store.path.with_suffix("")
         return stem.with_name(f"{stem.name}.{'+'.join(experiments)}.manifest.json")
+
+    def map_tasks(self, name: str, payloads: Iterable[object]) -> list[object]:
+        """Run registered task ``name`` over ``payloads`` through the executor.
+
+        Results come back **in payload order** regardless of executor, so a
+        caller can fan a deterministic decomposition out (chunks of a record
+        table, shards of an index) and zip the results straight back.  Tasks
+        are assumed pure data-in/data-out: the ``processes`` executor pickles
+        ``(name, payload)`` to each worker and the registered function is
+        resolved worker-side (see :func:`task_runner`), exactly the contract
+        experiment units follow.
+        """
+        items = list(payloads)
+        if not items:
+            return []
+        if self.executor == "serial" or len(items) == 1:
+            function = task_function(name)
+            return [function(payload) for payload in items]
+        width = self._pool_width(len(items))
+        if self.executor == "threads":
+            function = task_function(name)
+            with ThreadPoolExecutor(max_workers=width) as pool:
+                return list(pool.map(function, items))
+        with ProcessPoolExecutor(max_workers=width) as pool:
+            return list(pool.map(_run_task, [name] * len(items), items))
 
     # ------------------------------------------------------------- executors
 

@@ -102,6 +102,21 @@ class TestIndexRoundTrip:
         assert result == _scan_ids(query, left2)
 
 
+def _rewrite_npz(path, mutate):
+    """Load an npz artifact, apply ``mutate(arrays)``, and write it back."""
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    mutate(arrays)
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+
+
+def _rewrite_manifest(arrays, change):
+    manifest = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+    change(manifest)
+    arrays["manifest"] = np.frombuffer(json.dumps(manifest).encode("utf-8"), dtype=np.uint8)
+
+
 def _corrupt_truncate(path):
     path.write_bytes(path.read_bytes()[: max(1, path.stat().st_size // 2)])
 
@@ -111,37 +126,64 @@ def _corrupt_garbage(path):
 
 
 def _corrupt_schema_version(path):
-    payload = json.loads(path.read_text(encoding="utf-8"))
-    payload["schema_version"] = payload["schema_version"] + 1
-    path.write_text(json.dumps(payload), encoding="utf-8")
+    _rewrite_npz(
+        path,
+        lambda arrays: _rewrite_manifest(
+            arrays, lambda manifest: manifest.update(schema_version=manifest["schema_version"] + 1)
+        ),
+    )
 
 
 def _corrupt_content_hash(path):
-    payload = json.loads(path.read_text(encoding="utf-8"))
-    payload["content_hash"] = "0" * len(payload["content_hash"])
-    path.write_text(json.dumps(payload), encoding="utf-8")
+    _rewrite_npz(
+        path,
+        lambda arrays: _rewrite_manifest(
+            arrays, lambda manifest: manifest.update(content_hash="0" * len(manifest["content_hash"]))
+        ),
+    )
 
 
 def _corrupt_token_payload(path):
-    """Valid JSON, right hash, wrong derivations — the spot-check must catch it."""
-    payload = json.loads(path.read_text(encoding="utf-8"))
-    payload["token_sets"] = "\n".join(["zz"] * payload["record_count"])
-    payload["posting_tokens"] = "zz"
-    payload["posting_counts"] = [payload["record_count"]]
-    payload["posting_positions"] = list(range(payload["record_count"]))
-    path.write_text(json.dumps(payload), encoding="utf-8")
+    """Structurally valid, right hash, wrong derivations — the spot-check must catch it."""
+
+    def mutate(arrays):
+        blob = bytes(arrays["token_blob"]).decode("utf-8")
+        mangled = "\n".join(token + "x" for token in blob.split("\n"))
+        arrays["token_blob"] = np.frombuffer(mangled.encode("utf-8"), dtype=np.uint8)
+
+    _rewrite_npz(path, mutate)
 
 
 def _corrupt_dropped_record(path):
-    payload = json.loads(path.read_text(encoding="utf-8"))
-    payload["token_sets"] = "\n".join(payload["token_sets"].split("\n")[:-1])
-    path.write_text(json.dumps(payload), encoding="utf-8")
+    def mutate(arrays):
+        arrays["arena_offsets"] = arrays["arena_offsets"][:-1].copy()
+
+    _rewrite_npz(path, mutate)
 
 
 def _corrupt_posting_out_of_range(path):
-    payload = json.loads(path.read_text(encoding="utf-8"))
-    payload["posting_positions"][0] = payload["record_count"] + 7
-    path.write_text(json.dumps(payload), encoding="utf-8")
+    def mutate(arrays):
+        postings = arrays["postings"].copy()
+        record_count = json.loads(bytes(arrays["manifest"]).decode("utf-8"))["record_count"]
+        postings[0] = record_count + 7
+        arrays["postings"] = postings
+
+    _rewrite_npz(path, mutate)
+
+
+def _corrupt_unsorted_row(path):
+    def mutate(arrays):
+        postings = arrays["postings"].copy()
+        token_offsets = arrays["token_offsets"]
+        # Reverse the first posting row with more than one entry.
+        lengths = np.diff(token_offsets)
+        rows = np.nonzero(lengths > 1)[0]
+        row = int(rows[0])
+        first, last = int(token_offsets[row]), int(token_offsets[row + 1])
+        postings[first:last] = postings[first:last][::-1]
+        arrays["postings"] = postings
+
+    _rewrite_npz(path, mutate)
 
 
 CORRUPTIONS = {
@@ -152,6 +194,7 @@ CORRUPTIONS = {
     "wrong_derivations": _corrupt_token_payload,
     "dropped_record": _corrupt_dropped_record,
     "posting_out_of_range": _corrupt_posting_out_of_range,
+    "unsorted_posting_row": _corrupt_unsorted_row,
 }
 
 
