@@ -47,18 +47,22 @@ the per-worker warm start that makes resumed multi-process sweeps cheap.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import struct
 import tempfile
+import warnings
 import zipfile
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
+
+from repro import faults
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports (no cycle at runtime)
     from repro.data.dataset import ERDataset
@@ -78,6 +82,20 @@ ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
 
 #: Default token-hash shard count of a compiled/persisted source index.
 DEFAULT_INDEX_SHARDS = 8
+
+#: OSError errnos that flip a store into memory-only mode: conditions a
+#: retry cannot fix (disk full, read-only or quota-exhausted filesystem)
+#: where losing *persistence* is acceptable but losing the *computation*
+#: is not.
+_DEGRADE_ERRNOS = frozenset(
+    code
+    for code in (
+        getattr(errno, "ENOSPC", None),
+        getattr(errno, "EROFS", None),
+        getattr(errno, "EDQUOT", None),
+    )
+    if code is not None
+)
 
 
 def token_shard(token: str, num_shards: int) -> int:
@@ -111,6 +129,7 @@ class ArtifactStoreStats:
     model_loads: int = 0
     model_saves: int = 0
     model_misses: int = 0
+    quarantined: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain dictionary view for reports, manifests and smoke tests."""
@@ -124,17 +143,60 @@ class ArtifactStoreStats:
             "model_loads": self.model_loads,
             "model_saves": self.model_saves,
             "model_misses": self.model_misses,
+            "quarantined": self.quarantined,
         }
 
 
+def _fsync_directory(path: Path) -> None:
+    """Best-effort fsync of a directory entry (rename durability).
+
+    Failure is ignored: some filesystems (and sandboxes) refuse directory
+    fsync, and losing rename durability there degrades to the pre-crash
+    state — a missing artifact, which loaders already treat as a rebuild.
+    """
+    try:
+        descriptor = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
+
+
+def _corrupt_file(name: str) -> None:
+    """Overwrite the head of ``name`` with garbage (chaos-suite support).
+
+    Clobbering the first bytes breaks a zip local header / JSON document
+    while keeping the file present and renameable — exactly the torn-write
+    corruption the quarantine path must catch.
+    """
+    with open(name, "r+b") as handle:
+        handle.write(b"\xde\xad" * 32)
+
+
 def write_atomic_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    """Write ``text`` to ``path`` atomically and crash-durably.
+
+    Temp file + ``os.replace`` keeps the write atomic; the explicit fsync of
+    the temp file *before* the rename (plus a best-effort fsync of the
+    directory after) keeps it durable — without it, a power loss after the
+    rename can leave the new name pointing at unwritten blocks.
+    """
+    action = faults.fault_step("artifact.write")
     path.parent.mkdir(parents=True, exist_ok=True)
     descriptor, temp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
     try:
         with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if action is not None and action.kind == "corrupt":
+            _corrupt_file(temp_name)
         os.replace(temp_name, path)
+        _fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(temp_name)
@@ -144,13 +206,22 @@ def write_atomic_text(path: Path, text: str) -> None:
 
 
 def write_atomic_npz(path: Path, arrays: Mapping[str, np.ndarray]) -> None:
-    """Write a ``.npz`` archive to ``path`` atomically (temp file + rename)."""
+    """Write a ``.npz`` archive to ``path`` atomically and crash-durably.
+
+    Same fsync-before-rename contract as :func:`write_atomic_text`.
+    """
+    action = faults.fault_step("artifact.write")
     path.parent.mkdir(parents=True, exist_ok=True)
     descriptor, temp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
     try:
         with os.fdopen(descriptor, "wb") as handle:
             np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if action is not None and action.kind == "corrupt":
+            _corrupt_file(temp_name)
         os.replace(temp_name, path)
+        _fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(temp_name)
@@ -274,8 +345,18 @@ class ArtifactStore:
 
     Loads are tolerant (any failure ⇒ ``None`` ⇒ caller rebuilds); saves are
     atomic and may legitimately raise ``OSError`` — a misconfigured artifact
-    directory should surface, not hide.  Counters are exposed as
-    :attr:`stats`.
+    directory should surface, not hide.  Two exceptions to that raise:
+
+    * a full, read-only or quota-exhausted disk (``ENOSPC``/``EROFS``/
+      ``EDQUOT``) flips the store into **memory-only mode** — one warning,
+      ``persistence_disabled = True``, every later save a silent no-op —
+      because losing persistence must never fail the computation;
+    * a load that finds a *corrupt* artifact (unreadable, undecodable or
+      structurally invalid, as opposed to merely version-skewed) renames it
+      to ``<name>.corrupt-<digest>`` instead of leaving it in place, so the
+      damage is diagnosable and the rebuild can never be re-poisoned by it.
+
+    Counters are exposed as :attr:`stats`.
     """
 
     def __init__(self, directory: str | Path) -> None:
@@ -289,6 +370,8 @@ class ArtifactStore:
         self.model_loads = 0
         self.model_saves = 0
         self.model_misses = 0
+        self.quarantined = 0
+        self.persistence_disabled = False
 
     @property
     def stats(self) -> ArtifactStoreStats:
@@ -303,7 +386,53 @@ class ArtifactStore:
             model_loads=self.model_loads,
             model_saves=self.model_saves,
             model_misses=self.model_misses,
+            quarantined=self.quarantined,
         )
+
+    # ----------------------------------------------------- degrade & quarantine
+
+    def _guarded_write(self, write: Callable[[], object]) -> bool:
+        """Run one artifact write unless persistence is disabled.
+
+        Returns whether the write happened.  ``ENOSPC``/``EROFS``/``EDQUOT``
+        disable persistence for the rest of the process (with a single
+        warning); any other failure propagates unchanged.
+        """
+        if self.persistence_disabled:
+            return False
+        try:
+            write()
+        except OSError as exc:
+            if exc.errno in _DEGRADE_ERRNOS:
+                self.persistence_disabled = True
+                warnings.warn(
+                    f"artifact store {self.directory} is not writable "
+                    f"({exc}); continuing memory-only — results are "
+                    f"unaffected, warm starts are lost",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return False
+            raise
+        return True
+
+    def _quarantine(self, path: Path) -> Path | None:
+        """Move a corrupt artifact aside as ``<name>.corrupt-<digest>``.
+
+        The digest is over the corrupt bytes, so repeated corruption of the
+        same path quarantines to distinct names instead of overwriting the
+        evidence.  Returns the quarantine path, or ``None`` when the move
+        itself failed (the artifact then stays in place and keeps failing
+        validation — safe, just less diagnosable).
+        """
+        try:
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()[:12]
+            target = path.with_name(f"{path.name}.corrupt-{digest}")
+            os.replace(path, target)
+        except OSError:
+            return None
+        self.quarantined += 1
+        return target
 
     # ------------------------------------------------------------ source index
 
@@ -421,8 +550,8 @@ class ArtifactStore:
             "arena_tokens": arena_tokens,
         }
         path = self.index_path(content_hash, min_token_length)
-        write_atomic_npz(path, arrays)
-        self.index_saves += 1
+        if self._guarded_write(lambda: write_atomic_npz(path, arrays)):
+            self.index_saves += 1
         return path
 
     def load_source_index(
@@ -437,13 +566,37 @@ class ArtifactStore:
         derivation (see ``SourceTokenIndex._build``).
         """
         path = self.index_path(content_hash, min_token_length)
-        arrays = load_npz_arrays(path) if path.exists() else None
+        exists = path.exists()
+        arrays = load_npz_arrays(path) if exists else None
         decoded = self._decode_index_arrays(arrays, content_hash, min_token_length, len(expected_ids))
         if decoded is None:
             self.index_misses += 1
+            if exists and not self._version_skewed(arrays):
+                # A present-but-invalid artifact is corruption, not the
+                # normal upgrade path: move it aside so the rebuild's save
+                # lands on a clean name and the bad bytes stay diagnosable.
+                self._quarantine(path)
             return None
         self.index_loads += 1
         return decoded
+
+    @staticmethod
+    def _version_skewed(arrays: Mapping[str, np.ndarray] | None) -> bool:
+        """Whether a failed load is mere schema-version skew (not corruption).
+
+        True when the archive read cleanly and its manifest parses but names
+        another :data:`ARTIFACT_SCHEMA_VERSION` — the expected leftover of an
+        upgrade, which must not be quarantined as damage.
+        """
+        if arrays is None or "manifest" not in arrays:
+            return False
+        try:
+            manifest = json.loads(bytes(np.asarray(arrays["manifest"])).decode("utf-8"))
+        except (ValueError, TypeError, UnicodeDecodeError):
+            return False
+        if not isinstance(manifest, dict):
+            return False
+        return manifest.get("schema_version") != ARTIFACT_SCHEMA_VERSION
 
     @staticmethod
     def _decode_index_arrays(
@@ -600,8 +753,8 @@ class ArtifactStore:
         }
         arrays["manifest"] = np.array(json.dumps(manifest))
         path = self.featurizer_path(fingerprint)
-        write_atomic_npz(path, arrays)
-        self.featurizer_saves += 1
+        if self._guarded_write(lambda: write_atomic_npz(path, arrays)):
+            self.featurizer_saves += 1
         return path
 
     def warm_featurizer(self, featurizer) -> bool:
@@ -639,6 +792,10 @@ class ArtifactStore:
                         return None
                     state[name] = {"keys": block_keys, "values": values}
         except (OSError, ValueError, KeyError, UnicodeDecodeError):
+            if path.exists():
+                # Unreadable or undecodable archive: corruption, not a cold
+                # cache — quarantine so the next save starts from clean disk.
+                self._quarantine(path)
             return None
         return {"state": state}
 
@@ -657,7 +814,7 @@ class ArtifactStore:
             **metadata,
         }
         path = directory / "trained.json"
-        write_atomic_text(path, json.dumps(payload, sort_keys=True))
+        self._guarded_write(lambda: write_atomic_text(path, json.dumps(payload, sort_keys=True)))
         return path
 
     def load_model_metadata(self, directory: Path, dataset_digest: str) -> dict | None:

@@ -66,6 +66,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import faults
 from repro.data.artifacts import (
     DEFAULT_INDEX_SHARDS,
     ArtifactStore,
@@ -147,6 +148,12 @@ class IndexStats:
     ``compile_ms``
         Milliseconds spent freezing the dict representation into the
         compiled arrays (full compiles plus dirty-shard recompiles).
+    ``degraded_queries``
+        Traversal-tier fallbacks taken while answering queries: a compiled
+        traversal that failed and fell back to the dict walk counts one, a
+        dict walk that failed and fell back to the reference scan counts
+        another.  Results stay byte-identical across tiers; 0 on every
+        fault-free run.
     """
 
     builds: int = 0
@@ -157,6 +164,7 @@ class IndexStats:
     candidates_pruned: int = 0
     bytes_resident: int = 0
     compile_ms: float = 0.0
+    degraded_queries: int = 0
 
     def __sub__(self, other: "IndexStats") -> "IndexStats":
         """Counter delta between two snapshots."""
@@ -169,6 +177,7 @@ class IndexStats:
             candidates_pruned=self.candidates_pruned - other.candidates_pruned,
             bytes_resident=self.bytes_resident - other.bytes_resident,
             compile_ms=self.compile_ms - other.compile_ms,
+            degraded_queries=self.degraded_queries - other.degraded_queries,
         )
 
     def __add__(self, other: "IndexStats") -> "IndexStats":
@@ -182,6 +191,7 @@ class IndexStats:
             candidates_pruned=self.candidates_pruned + other.candidates_pruned,
             bytes_resident=self.bytes_resident + other.bytes_resident,
             compile_ms=self.compile_ms + other.compile_ms,
+            degraded_queries=self.degraded_queries + other.degraded_queries,
         )
 
     def as_dict(self) -> dict[str, int | float]:
@@ -195,6 +205,7 @@ class IndexStats:
             "index_candidates_pruned": self.candidates_pruned,
             "index_bytes_resident": self.bytes_resident,
             "index_compile_ms": self.compile_ms,
+            "index_degraded_queries": self.degraded_queries,
         }
 
 
@@ -367,6 +378,7 @@ class SourceTokenIndex:
         self.postings_visited = 0
         self.candidates_pruned = 0
         self.compile_ms = 0.0
+        self.degraded_queries = 0
         self._built_hash: str | None = None
         self._built_version: int | None = None
         #: Shallow snapshot of ``source.records`` at validation time.  Holding
@@ -419,6 +431,7 @@ class SourceTokenIndex:
             candidates_pruned=self.candidates_pruned,
             bytes_resident=self.bytes_resident,
             compile_ms=self.compile_ms,
+            degraded_queries=self.degraded_queries,
         )
 
     # ------------------------------------------------------------------ build
@@ -959,14 +972,22 @@ class SourceTokenIndex:
         self.ensure_fresh()
         self.queries += 1
         if self._postings is None and self._compiled is not None:
-            slots_store = self._slots
-            for shard in self._compiled.shards:
-                offsets = shard.token_offsets
-                for row, token in enumerate(shard.tokens):
-                    slot_list = shard.postings[offsets[row] : offsets[row + 1]].tolist()
-                    self.postings_visited += len(slot_list)
-                    yield token, [slots_store[slot].record_id for slot in slot_list]
-            return
+            # Degradation is decided at entry, before anything is yielded, so
+            # a compiled-tier fault can never duplicate pairs mid-traversal.
+            try:
+                faults.fault_step("index.compiled")
+                shards = self._compiled.shards
+            except Exception:
+                self.degraded_queries += 1
+            else:
+                slots_store = self._slots
+                for shard in shards:
+                    offsets = shard.token_offsets
+                    for row, token in enumerate(shard.tokens):
+                        slot_list = shard.postings[offsets[row] : offsets[row + 1]].tolist()
+                        self.postings_visited += len(slot_list)
+                        yield token, [slots_store[slot].record_id for slot in slot_list]
+                return
         self._ensure_dict_state()
         for token, slots in self._postings.items():
             self.postings_visited += len(slots)
@@ -1046,13 +1067,25 @@ class SourceTokenIndex:
             else self._compiled is not None or len(self._records) >= COMPILED_MIN_RECORDS
         )
         if use_compiled:
-            return self._top_k_compiled(query_set, total, wanted, excluded)
-        return self._top_k_dict(query_set, total, wanted, excluded)
+            try:
+                return self._top_k_compiled(query_set, total, wanted, excluded)
+            except Exception:
+                # Graceful degradation: a compiled-tier fault (injected or
+                # real) falls back to the dict walk, which is byte-identical.
+                self.degraded_queries += 1
+        try:
+            return self._top_k_dict(query_set, total, wanted, excluded)
+        except Exception:
+            # Last resort: the reference scan needs nothing but the records
+            # and the tokeniser, and ranks identically to both fast tiers.
+            self.degraded_queries += 1
+        return self._top_k_scan(query_set, total, wanted, excluded)
 
     def _top_k_dict(
         self, query_set: frozenset[str], total: int, wanted: int, excluded: set[str]
     ) -> list[Record]:
         """Exact top-k over the dict posting lists (the golden fast path)."""
+        faults.fault_step("index.dict")
         self._ensure_dict_state()
         postings = self._postings
         slots_store = self._slots
@@ -1120,6 +1153,33 @@ class SourceTokenIndex:
         self.candidates_pruned += len(self._records) - len(scores)
         return result
 
+    def _top_k_scan(
+        self, query_set: frozenset[str], total: int, wanted: int, excluded: set[str]
+    ) -> list[Record]:
+        """Reference scan over the id-ordered records (degradation tier 3).
+
+        Needs only the parallel id-order arrays and the token interner — no
+        posting lists, no compiled arrays — so it stays answerable after
+        either fast tier faulted.  Scores every non-excluded record with the
+        same Jaccard as :func:`repro.data.blocking.overlap_score` and orders
+        by ``(-score, record_id)``, byte-identical to
+        :func:`repro.data.blocking.top_k_neighbours` with ``indexed=False``.
+        """
+        scored: list[tuple[float, str, Record]] = []
+        for position, record in enumerate(self._records):
+            record_id = self._ids[position]
+            if record_id in excluded:
+                continue
+            tokens = interned_blocking_tokens(record, self.min_token_length)
+            if not query_set or not tokens:
+                score = 0.0
+            else:
+                overlap = len(query_set & tokens)
+                score = overlap / (total + len(tokens) - overlap)
+            scored.append((score, record_id, record))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [record for _, __, record in scored[:wanted]]
+
     def _top_k_compiled(
         self, query_set: frozenset[str], total: int, wanted: int, excluded: set[str]
     ) -> list[Record]:
@@ -1141,6 +1201,7 @@ class SourceTokenIndex:
         never admit an approximation: results are byte-identical to
         :meth:`_top_k_dict` and the scan reference.
         """
+        faults.fault_step("index.compiled")
         compiled = self._ensure_compiled()
         records = self._records
         count = len(records)
@@ -1275,16 +1336,22 @@ class SourceTokenIndex:
         """
         self.ensure_fresh()
         self.queries += 1
+        tokens = list(tokens)  # may be consumed twice if the compiled tier degrades
         found: set[str] = set()
         if self._postings is None and self._compiled is not None:
-            for token in tokens:
-                row = self._compiled.row_slots(token)
-                if row is None:
-                    continue
-                self.postings_visited += int(row.size)
-                for slot in row.tolist():
-                    found.add(self._slots[slot].record_id)
-            return found
+            try:
+                faults.fault_step("index.compiled")
+                for token in tokens:
+                    row = self._compiled.row_slots(token)
+                    if row is None:
+                        continue
+                    self.postings_visited += int(row.size)
+                    for slot in row.tolist():
+                        found.add(self._slots[slot].record_id)
+                return found
+            except Exception:
+                self.degraded_queries += 1
+                found.clear()
         self._ensure_dict_state()
         for token in tokens:
             slots = self._postings.get(token, ())

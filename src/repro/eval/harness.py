@@ -52,7 +52,7 @@ from repro.eval.saliency_metrics import (
     faithfulness,
     saliency_alignment,
 )
-from repro.exceptions import EvaluationError, ExplanationError
+from repro.exceptions import EvaluationError, ExplanationError, is_transient
 from repro.explain.base import CounterfactualExplainer, SaliencyExplainer
 from repro.explain.dice import DiceExplainer
 from repro.explain.landmark import LandmarkExplainer
@@ -557,8 +557,23 @@ class ExperimentHarness:
 # ---------------------------------------------------------------------------
 # Experiment bodies.  Module-level functions (picklable by reference) that the
 # sweep runner resolves by name; each takes (harness, unit) and returns
-# (rows, skipped).  Skipped pairs are *counted*, never silently dropped.
+# (rows, skipped).  Skipped pairs are *counted*, never silently dropped, and
+# each row's ``skip_errors`` column breaks the count down by exception class
+# and transient/permanent category (see ``record_skip``).
 # ---------------------------------------------------------------------------
+
+
+def record_skip(errors: dict[str, int], exc: BaseException) -> None:
+    """Count one skipped explanation under its ``Class:category`` taxonomy key.
+
+    The key is ``f"{type(exc).__name__}:{'transient'|'permanent'}"`` — the
+    shape :func:`repro.eval.reporting.aggregate_skip_errors` and
+    ``skipped_summary`` consume, so skip accounting names *what* failed and
+    whether retrying could have helped, not just how often.
+    """
+    category = "transient" if is_transient(exc) else "permanent"
+    key = f"{type(exc).__name__}:{category}"
+    errors[key] = errors.get(key, 0) + 1
 
 
 @experiment_runner("saliency")
@@ -567,12 +582,13 @@ def _run_saliency_unit(harness: ExperimentHarness, unit: WorkUnit) -> tuple[list
     model = harness.trained(unit.model, unit.dataset).model
     explainer = harness.saliency_explainer(model, unit.dataset, unit.method)
     pairs = harness.sample_pairs(unit.dataset)
-    explanations, skipped = [], 0
+    explanations, skipped, skip_errors = [], 0, {}
     for pair in pairs:
         try:
             explanations.append(explainer.explain(pair))
-        except ExplanationError:
+        except ExplanationError as exc:
             skipped += 1
+            record_skip(skip_errors, exc)
     if not explanations:
         return [], skipped
     faithfulness_result = faithfulness(model, explanations)
@@ -584,6 +600,7 @@ def _run_saliency_unit(harness: ExperimentHarness, unit: WorkUnit) -> tuple[list
         "confidence_indication": confidence_indication(explanations),
         "pairs": len(explanations),
         "skipped": skipped,
+        "skip_errors": skip_errors,
     }
     return [row], skipped
 
@@ -594,12 +611,13 @@ def _run_counterfactual_unit(harness: ExperimentHarness, unit: WorkUnit) -> tupl
     model = harness.trained(unit.model, unit.dataset).model
     explainer = harness.counterfactual_explainer(model, unit.dataset, unit.method)
     pairs = harness.sample_pairs(unit.dataset)
-    explanations, skipped = [], 0
+    explanations, skipped, skip_errors = [], 0, {}
     for pair in pairs:
         try:
             explanations.append(explainer.explain_counterfactual(pair))
-        except ExplanationError:
+        except ExplanationError as exc:
             skipped += 1
+            record_skip(skip_errors, exc)
     if not explanations:
         return [], skipped
     row = {
@@ -609,6 +627,7 @@ def _run_counterfactual_unit(harness: ExperimentHarness, unit: WorkUnit) -> tupl
         **average_metrics(explanations),
         "pairs": len(explanations),
         "skipped": skipped,
+        "skip_errors": skip_errors,
     }
     return [row], skipped
 
@@ -619,7 +638,7 @@ def _run_triangle_sweep_unit(harness: ExperimentHarness, unit: WorkUnit) -> tupl
     tau = unit.index
     models = list(unit.param("models", harness.config.models))
     pairs = harness.sample_pairs(unit.dataset, count=int(unit.param("pairs_per_dataset", 2)))
-    skipped = 0
+    skipped, skip_errors = 0, {}
     sufficiency_values, necessity_values = [], []
     proximity_values, sparsity_values, diversity_values = [], [], []
     explanations_by_model: dict[str, list] = {}
@@ -631,8 +650,9 @@ def _run_triangle_sweep_unit(harness: ExperimentHarness, unit: WorkUnit) -> tupl
         for pair in pairs:
             try:
                 explanation = explainer.explain_full(pair)
-            except ExplanationError:
+            except ExplanationError as exc:
                 skipped += 1
+                record_skip(skip_errors, exc)
                 continue
             sufficiency_values.append(explanation.average_sufficiency())
             necessity_values.append(explanation.average_necessity())
@@ -668,6 +688,7 @@ def _run_triangle_sweep_unit(harness: ExperimentHarness, unit: WorkUnit) -> tupl
         "sparsity": float(np.mean(sparsity_values)) if sparsity_values else 0.0,
         "diversity": float(np.mean(diversity_values)) if diversity_values else 0.0,
         "skipped": skipped,
+        "skip_errors": skip_errors,
     }
     return [row], skipped
 
@@ -684,6 +705,7 @@ def _run_prediction_engine_unit(harness: ExperimentHarness, unit: WorkUnit) -> t
     model = harness.trained(unit.model, unit.dataset).model
     pairs = harness.sample_pairs(unit.dataset, count=int(unit.param("pairs_per_dataset", 3)))
     skip_counts = {}
+    skip_errors: dict[str, int] = {}
 
     def run(batched: bool) -> tuple[list[CertaExplanation], float]:
         model.clear_cache()
@@ -701,8 +723,10 @@ def _run_prediction_engine_unit(harness: ExperimentHarness, unit: WorkUnit) -> t
         for pair in pairs:
             try:
                 explanations.append(explainer.explain_full(pair))
-            except ExplanationError:
+            except ExplanationError as exc:
                 skip_counts[batched] += 1
+                if batched:  # the reported arm: keep taxonomy and count aligned
+                    record_skip(skip_errors, exc)
         return explanations, time.perf_counter() - start
 
     batched_runs, batched_seconds = run(batched=True)
@@ -750,6 +774,7 @@ def _run_prediction_engine_unit(harness: ExperimentHarness, unit: WorkUnit) -> t
         "speedup": (sequential_seconds / batched_seconds) if batched_seconds else 0.0,
         "identical": identical,
         "skipped": skipped,
+        "skip_errors": skip_errors,
     }
     return [row], skipped
 
@@ -796,6 +821,7 @@ def _run_monotonicity_unit(harness: ExperimentHarness, unit: WorkUnit) -> tuple[
         "saved": float(np.mean(saved_values)),
         "error_rate": (wrong_total / saved_total) if saved_total else 0.0,
         "skipped": 0,
+        "skip_errors": {},
     }
     return [row], 0
 
@@ -826,6 +852,7 @@ def _run_augmentation_supply_unit(harness: ExperimentHarness, unit: WorkUnit) ->
         "mean_triangles": float(np.mean(counts)) if counts else 0.0,
         **index_totals.as_dict(),
         "skipped": 0,
+        "skip_errors": {},
     }
     return [row], 0
 
@@ -836,6 +863,7 @@ def _run_augmentation_effect_unit(harness: ExperimentHarness, unit: WorkUnit) ->
     model = harness.trained(unit.model, unit.dataset).model
     pairs = harness.sample_pairs(unit.dataset, count=int(unit.param("pairs_per_dataset", 3)))
     skipped = 0
+    skip_errors: dict[str, int] = {}
 
     def collect(explainer: CertaExplainer) -> dict[str, float]:
         nonlocal skipped
@@ -843,8 +871,9 @@ def _run_augmentation_effect_unit(harness: ExperimentHarness, unit: WorkUnit) ->
         for pair in pairs:
             try:
                 explanation = explainer.explain_full(pair)
-            except ExplanationError:
+            except ExplanationError as exc:
                 skipped += 1
+                record_skip(skip_errors, exc)
                 continue
             saliency_explanations.append(explanation.saliency)
             counterfactual_explanations.append(explanation.counterfactual)
@@ -868,6 +897,7 @@ def _run_augmentation_effect_unit(harness: ExperimentHarness, unit: WorkUnit) ->
         "dataset": unit.dataset,
         **{f"delta_{name}": forced[name] - baseline[name] for name in baseline},
         "skipped": skipped,
+        "skip_errors": skip_errors,
     }
     return [row], skipped
 
@@ -908,6 +938,7 @@ def _run_case_study_unit(harness: ExperimentHarness, unit: WorkUnit) -> tuple[li
         "aggr@2": aggregates[2],
         "aggr@3": aggregates[3],
         "skipped": 0,
+        "skip_errors": {},
     }
     return [row], 0
 
@@ -923,11 +954,13 @@ def _run_monotone_ablation_unit(harness: ExperimentHarness, unit: WorkUnit) -> t
         num_triangles=int(unit.param("num_triangles", 10)),
     )
     performed, saved, flips, skipped = 0, 0, 0, 0
+    skip_errors: dict[str, int] = {}
     for pair in pairs:
         try:
             explanation = explainer.explain_full(pair)
-        except ExplanationError:
+        except ExplanationError as exc:
             skipped += 1
+            record_skip(skip_errors, exc)
             continue
         performed += explanation.performed_predictions()
         saved += explanation.saved_predictions()
@@ -940,5 +973,6 @@ def _run_monotone_ablation_unit(harness: ExperimentHarness, unit: WorkUnit) -> t
         "saved_model_calls": saved,
         "flips": flips,
         "skipped": skipped,
+        "skip_errors": skip_errors,
     }
     return [row], skipped

@@ -21,7 +21,7 @@ import csv
 import heapq
 import json
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 
 def format_table(rows: Sequence[dict[str, object]], columns: Sequence[str] | None = None, precision: int = 3) -> str:
@@ -122,13 +122,45 @@ def win_counts(
     return counts
 
 
+def aggregate_skip_errors(rows: Sequence[Mapping[str, object]]) -> dict[str, int]:
+    """Sum the per-row ``skip_errors`` taxonomy into one sorted mapping.
+
+    Each row's ``skip_errors`` maps ``"ExceptionClass:category"`` (category
+    ``transient`` or ``permanent``, see
+    :func:`repro.exceptions.is_transient`) to a count of explanations skipped
+    for that reason; rows without the column contribute nothing, so the
+    aggregation works across old and new row shapes alike.
+    """
+    totals: dict[str, int] = {}
+    for row in rows:
+        errors = row.get("skip_errors")
+        if not isinstance(errors, Mapping):
+            continue
+        for key, count in errors.items():
+            try:
+                totals[str(key)] = totals.get(str(key), 0) + int(count)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                continue
+    return dict(sorted(totals.items()))
+
+
 def skipped_summary(rows: Sequence[dict[str, object]]) -> str:
-    """One-line summary of the ``skipped`` column (printed under each table)."""
+    """One-line summary of the ``skipped`` column (printed under each table).
+
+    When rows carry the ``skip_errors`` taxonomy, the summary breaks the
+    total down by exception class and transient/permanent category, e.g.
+    ``skipped explanations: 3 (across 2 row(s)) [TriangleError:permanent=3]``.
+    """
     total = sum(int(row.get("skipped", 0)) for row in rows)
     cells = sum(1 for row in rows if int(row.get("skipped", 0)) > 0)
     if total == 0:
         return "skipped explanations: 0"
-    return f"skipped explanations: {total} (across {cells} row(s))"
+    summary = f"skipped explanations: {total} (across {cells} row(s))"
+    errors = aggregate_skip_errors(rows)
+    if errors:
+        detail = ", ".join(f"{key}={count}" for key, count in errors.items())
+        summary = f"{summary} [{detail}]"
+    return summary
 
 
 def stable_row_key(row: dict[str, object]) -> tuple:

@@ -49,23 +49,77 @@ import os
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.eval.reporting import read_jsonl, write_manifest
-from repro.exceptions import EvaluationError
+from repro import faults
+from repro.eval.reporting import aggregate_skip_errors, read_jsonl, write_manifest
+from repro.exceptions import DeadlineError, EvaluationError, is_transient
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (harness imports us)
     from repro.eval.harness import ExperimentHarness, HarnessConfig
 
 #: Bump to invalidate every existing checkpoint store (stored with each unit).
-RUNNER_SCHEMA_VERSION = 1
+#: 2: outcomes grew retry/deadline provenance and rows a ``skip_errors``
+#: taxonomy column, so version-1 checkpoint rows no longer byte-match.
+RUNNER_SCHEMA_VERSION = 2
 
 #: The executors :class:`SweepRunner` supports.
 EXECUTORS = ("serial", "threads", "processes")
+
+#: Environment knobs of the per-unit retry machinery (overridable per runner).
+UNIT_RETRIES_ENV = "REPRO_UNIT_RETRIES"
+UNIT_DEADLINE_ENV = "REPRO_UNIT_DEADLINE"
+UNIT_BACKOFF_ENV = "REPRO_UNIT_BACKOFF"
+
+#: Defaults: 2 retries, no deadline, 50 ms backoff base, 2 s backoff ceiling.
+DEFAULT_UNIT_RETRIES = 2
+DEFAULT_UNIT_DEADLINE = 0.0
+DEFAULT_UNIT_BACKOFF = 0.05
+MAX_BACKOFF_SECONDS = 2.0
+
+
+def _env_number(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def unit_retries() -> int:
+    """Per-unit transient-retry budget (``REPRO_UNIT_RETRIES``, default 2)."""
+    return max(0, int(_env_number(UNIT_RETRIES_ENV, DEFAULT_UNIT_RETRIES)))
+
+
+def unit_deadline() -> float:
+    """Per-unit wall-clock deadline in seconds (``REPRO_UNIT_DEADLINE``, 0 = off)."""
+    return max(0.0, _env_number(UNIT_DEADLINE_ENV, DEFAULT_UNIT_DEADLINE))
+
+
+def unit_backoff() -> float:
+    """Exponential-backoff base in seconds (``REPRO_UNIT_BACKOFF``)."""
+    return max(0.0, _env_number(UNIT_BACKOFF_ENV, DEFAULT_UNIT_BACKOFF))
+
+
+def backoff_delay(base: float, attempt: int, key: str) -> float:
+    """Backoff before retry ``attempt`` (1-based): exponential plus jitter.
+
+    The jitter factor in [1, 2) is derived from ``(key, attempt)`` — fully
+    deterministic, so two runs of the same sweep sleep identically, while
+    distinct units desynchronise instead of retrying in lockstep.
+    """
+    if base <= 0.0:
+        return 0.0
+    digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+    jitter = 1.0 + int.from_bytes(digest[:4], "big") / 2**32
+    return min(MAX_BACKOFF_SECONDS, base * (2 ** (attempt - 1)) * jitter)
 
 
 # --------------------------------------------------------------------- values
@@ -238,28 +292,79 @@ def _run_task(name: str, payload: object) -> object:
 
 @dataclass
 class UnitOutcome:
-    """The result of one work unit: rows, skip count and provenance."""
+    """The result of one work unit: rows, skip count and provenance.
+
+    ``retried`` counts re-executions the unit needed (transient failures,
+    deadline overruns and worker-crash requeues alike); ``deadline_exceeded``
+    counts attempts that overran the per-unit deadline.  Both are provenance,
+    not results: cached outcomes restore them so resumed manifests match.
+    """
 
     unit: WorkUnit
     rows: list[dict[str, object]]
     skipped: int = 0
     seconds: float = 0.0
     cached: bool = False
+    retried: int = 0
+    deadline_exceeded: int = 0
 
 
-def execute_unit(unit: WorkUnit, harness: "ExperimentHarness") -> UnitOutcome:
-    """Run one unit against ``harness`` and normalise its rows."""
+def execute_unit(
+    unit: WorkUnit,
+    harness: "ExperimentHarness",
+    retries: int | None = None,
+    deadline: float | None = None,
+    backoff: float | None = None,
+) -> UnitOutcome:
+    """Run one unit against ``harness`` with bounded retry, and normalise.
+
+    Transient failures (see :func:`repro.exceptions.is_transient`) re-execute
+    up to ``retries`` times with exponential backoff + deterministic jitter;
+    permanent failures raise :class:`EvaluationError` immediately.  With a
+    ``deadline`` set, an attempt that overruns it counts as a transient
+    failure while retry budget remains; the *final* attempt's rows are
+    accepted late rather than discarded — the experiment bodies are
+    deterministic, so a slow correct answer still byte-matches a fast one —
+    with the overrun recorded in ``deadline_exceeded``.
+    """
     function = experiment_function(unit.experiment)
+    retries = unit_retries() if retries is None else max(0, retries)
+    deadline = unit_deadline() if deadline is None else max(0.0, deadline)
+    backoff = unit_backoff() if backoff is None else max(0.0, backoff)
     start = time.perf_counter()
-    try:
-        rows, skipped = function(harness, unit)
-    except Exception as exc:
-        raise EvaluationError(f"work unit {unit.label()} failed: {exc}") from exc
+    retried = 0
+    deadline_exceeded = 0
+    attempt = 0
+    while True:
+        attempt += 1
+        attempt_start = time.perf_counter()
+        try:
+            faults.fault_step("unit.body")
+            rows, skipped = function(harness, unit)
+            elapsed = time.perf_counter() - attempt_start
+            if deadline and elapsed > deadline:
+                deadline_exceeded += 1
+                if attempt <= retries:
+                    raise DeadlineError(
+                        f"work unit {unit.label()} took {elapsed:.3f}s "
+                        f"(deadline {deadline:g}s)"
+                    )
+            break
+        except Exception as exc:
+            if attempt <= retries and is_transient(exc):
+                retried += 1
+                delay = backoff_delay(backoff, attempt, unit.unit_id)
+                if delay:
+                    time.sleep(delay)
+                continue
+            raise EvaluationError(f"work unit {unit.label()} failed: {exc}") from exc
     return UnitOutcome(
         unit=unit,
         rows=[normalise_row(row) for row in rows],
         skipped=int(skipped),
         seconds=time.perf_counter() - start,
+        retried=retried,
+        deadline_exceeded=deadline_exceeded,
     )
 
 
@@ -286,7 +391,13 @@ def _warm_worker(config: "HarnessConfig", dataset_codes: Sequence[str]) -> None:
         harness.dataset(code)
 
 
-def _execute_in_worker(config: "HarnessConfig", unit: WorkUnit) -> UnitOutcome:
+def _execute_in_worker(
+    config: "HarnessConfig",
+    unit: WorkUnit,
+    retries: int | None = None,
+    deadline: float | None = None,
+    backoff: float | None = None,
+) -> UnitOutcome:
     """Entry point executed inside a worker process.
 
     Each completed unit also persists the worker's featurisation caches to
@@ -298,7 +409,7 @@ def _execute_in_worker(config: "HarnessConfig", unit: WorkUnit) -> UnitOutcome:
     correctness.
     """
     harness = _worker_harness(config)
-    outcome = execute_unit(unit, harness)
+    outcome = execute_unit(unit, harness, retries=retries, deadline=deadline, backoff=backoff)
     harness.save_artifacts()
     return outcome
 
@@ -313,12 +424,27 @@ class CheckpointStore:
     its readable coordinates), the normalised rows, the skip count and the
     wall-clock seconds.  :meth:`load` tolerates a truncated or corrupt tail —
     exactly what a killed sweep leaves behind — by skipping undecodable
-    lines, so resuming is always safe.
+    lines, so resuming is always safe: the torn unit simply re-executes, and
+    the experiment bodies are deterministic, so the resumed rows byte-match
+    an uninterrupted run.  :meth:`append` guards the complementary hazard: a
+    file killed mid-append ends without a newline, and appending straight
+    after it would weld the new entry onto the torn fragment — swallowing a
+    *good* entry inside an undecodable line — so a missing trailing newline
+    is repaired before each append.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._lock = threading.Lock()
+
+    def _tail_missing_newline(self) -> bool:
+        """Whether the store ends in a torn (newline-less) fragment."""
+        try:
+            with self.path.open("rb") as probe:
+                probe.seek(-1, os.SEEK_END)
+                return probe.read(1) != b"\n"
+        except OSError:
+            return False  # absent or empty file: nothing to repair
 
     def load(self, config_digest: str) -> dict[str, dict[str, object]]:
         """Entries recorded for ``config_digest``, keyed by unit id.
@@ -344,12 +470,23 @@ class CheckpointStore:
             "rows": outcome.rows,
             "skipped": outcome.skipped,
             "seconds": outcome.seconds,
+            "retried": outcome.retried,
+            "deadline_exceeded": outcome.deadline_exceeded,
         }
         line = json.dumps(entry, sort_keys=True)
+        action = faults.fault_step("checkpoint.append")
         with self._lock:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            prefix = "\n" if self._tail_missing_newline() else ""
             with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+                if action is not None and action.kind == "torn":
+                    # Simulate a crash mid-append: half the line reaches the
+                    # file, no newline, and the process dies on the spot.
+                    handle.write(prefix + line[: max(1, len(line) // 2)])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    faults.kill_process(action.rule.exit_code)
+                handle.write(prefix + line + "\n")
                 handle.flush()
 
 
@@ -358,12 +495,18 @@ class CheckpointStore:
 
 @dataclass
 class SweepResult:
-    """Outcome of one :meth:`SweepRunner.run`: ordered units plus provenance."""
+    """Outcome of one :meth:`SweepRunner.run`: ordered units plus provenance.
+
+    ``worker_crashes`` counts process-pool breakages the run survived (each
+    one is a pool respawn plus a requeue of every in-flight unit); it is
+    always 0 for the ``serial`` and ``threads`` executors.
+    """
 
     outcomes: list[UnitOutcome]
     config_digest: str
     executor: str
     wall_seconds: float = 0.0
+    worker_crashes: int = 0
 
     @property
     def rows(self) -> list[dict[str, object]]:
@@ -383,6 +526,16 @@ class SweepResult:
     def executed_units(self) -> int:
         return sum(1 for outcome in self.outcomes if not outcome.cached)
 
+    @property
+    def retried(self) -> int:
+        """Total unit re-executions (transient retries + crash requeues)."""
+        return sum(outcome.retried for outcome in self.outcomes)
+
+    @property
+    def deadline_exceeded(self) -> int:
+        """Total attempts that overran the per-unit deadline."""
+        return sum(outcome.deadline_exceeded for outcome in self.outcomes)
+
     def manifest(self) -> dict[str, object]:
         """Run manifest: what ran, what was reused, what was skipped."""
         experiments = sorted({outcome.unit.experiment for outcome in self.outcomes})
@@ -396,6 +549,10 @@ class SweepResult:
             "units_executed": self.executed_units,
             "rows": len(self.rows),
             "skipped": self.skipped,
+            "skipped_errors": aggregate_skip_errors(self.rows),
+            "retried": self.retried,
+            "deadline_exceeded": self.deadline_exceeded,
+            "worker_crashes": self.worker_crashes,
             "wall_seconds": self.wall_seconds,
         }
 
@@ -421,6 +578,12 @@ class SweepRunner:
         When set, completed units are persisted as they finish and reused on
         the next run with the same configuration hash; a run manifest is
         written next to the store.
+    retries / deadline / backoff:
+        Per-unit retry budget, wall-clock deadline (seconds, 0 disables) and
+        exponential-backoff base for transient failures.  ``None`` (the
+        default) defers to the ``REPRO_UNIT_RETRIES`` /
+        ``REPRO_UNIT_DEADLINE`` / ``REPRO_UNIT_BACKOFF`` environment
+        variables, which also reach process-pool workers.
     """
 
     def __init__(
@@ -428,15 +591,26 @@ class SweepRunner:
         executor: str = "serial",
         max_workers: int | None = None,
         checkpoint: str | Path | CheckpointStore | None = None,
+        retries: int | None = None,
+        deadline: float | None = None,
+        backoff: float | None = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise EvaluationError(f"unknown executor {executor!r}; available: {EXECUTORS}")
         self.executor = executor
         self.max_workers = max_workers
+        self.retries = retries
+        self.deadline = deadline
+        self.backoff = backoff
+        self._worker_crashes = 0
         if checkpoint is None or isinstance(checkpoint, CheckpointStore):
             self.store = checkpoint
         else:
             self.store = CheckpointStore(checkpoint)
+
+    def _retry_budget(self) -> int:
+        """The effective per-unit retry budget (constructor arg or env)."""
+        return unit_retries() if self.retries is None else max(0, self.retries)
 
     # ------------------------------------------------------------------- api
 
@@ -463,10 +637,13 @@ class SweepRunner:
                     skipped=int(entry.get("skipped", 0)),
                     seconds=float(entry.get("seconds", 0.0)),
                     cached=True,
+                    retried=int(entry.get("retried", 0)),
+                    deadline_exceeded=int(entry.get("deadline_exceeded", 0)),
                 )
             else:
                 pending.append(unit)
 
+        self._worker_crashes = 0
         start = time.perf_counter()
         for outcome in self._execute(pending, harness):
             outcomes[outcome.unit.unit_id] = outcome
@@ -482,6 +659,7 @@ class SweepRunner:
             config_digest=digest,
             executor=self.executor,
             wall_seconds=time.perf_counter() - start,
+            worker_crashes=self._worker_crashes,
         )
         if self.store is not None:
             write_manifest(result.manifest(), self.path_for_manifest(result))
@@ -519,8 +697,54 @@ class SweepRunner:
             function = task_function(name)
             with ThreadPoolExecutor(max_workers=width) as pool:
                 return list(pool.map(function, items))
-        with ProcessPoolExecutor(max_workers=width) as pool:
-            return list(pool.map(_run_task, [name] * len(items), items))
+        return self._map_tasks_processes(name, items, width)
+
+    def _map_tasks_processes(self, name: str, items: list[object], width: int) -> list[object]:
+        """Process-pool task fan-out surviving worker crashes (payload order).
+
+        The same respawn-and-requeue loop as :meth:`_execute_processes`:
+        a broken pool requeues the affected payloads into a fresh pool,
+        bounded by the retry budget per payload.  Task-body exceptions (as
+        opposed to crashes) propagate unchanged — tasks have no transient /
+        permanent split; their callers treat any raise as fatal.
+        """
+        results: list[object] = [None] * len(items)
+        queue = list(range(len(items)))
+        requeues: dict[int, int] = {}
+        crash_budget = self._retry_budget() + 1
+        while queue:
+            pool = ProcessPoolExecutor(max_workers=min(width, len(queue)))
+            futures = {
+                pool.submit(_run_task, name, items[position]): position for position in queue
+            }
+            queue = []
+            broken = False
+            try:
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        position = futures[future]
+                        try:
+                            results[position] = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            count = requeues.get(position, 0) + 1
+                            requeues[position] = count
+                            if count >= crash_budget:
+                                raise EvaluationError(
+                                    f"task {name!r} payload {position} crashed its "
+                                    f"worker {count} time(s); giving up"
+                                ) from None
+                            queue.append(position)
+            finally:
+                # wait=True: a detached management thread races the atexit
+                # wakeup hook (EBADF at interpreter exit); a broken pool
+                # joins promptly, its workers are already dead.
+                pool.shutdown(wait=True, cancel_futures=True)
+            if broken:
+                self._worker_crashes += 1
+        return results
 
     # ------------------------------------------------------------- executors
 
@@ -536,25 +760,86 @@ class SweepRunner:
             return
         if self.executor == "serial":
             for unit in pending:
-                yield execute_unit(unit, harness)
+                yield execute_unit(
+                    unit, harness, retries=self.retries, deadline=self.deadline,
+                    backoff=self.backoff,
+                )
         elif self.executor == "threads":
             with ThreadPoolExecutor(max_workers=self._pool_width(len(pending))) as pool:
-                futures = {pool.submit(execute_unit, unit, harness) for unit in pending}
-                while futures:
-                    done, futures = wait(futures, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        yield future.result()
-        else:  # processes
-            warm_codes = sorted({unit.dataset for unit in pending if unit.dataset})
-            with ProcessPoolExecutor(
-                max_workers=self._pool_width(len(pending)),
-                initializer=_warm_worker,
-                initargs=(harness.config, warm_codes),
-            ) as pool:
                 futures = {
-                    pool.submit(_execute_in_worker, harness.config, unit) for unit in pending
+                    pool.submit(
+                        execute_unit, unit, harness, retries=self.retries,
+                        deadline=self.deadline, backoff=self.backoff,
+                    )
+                    for unit in pending
                 }
                 while futures:
                     done, futures = wait(futures, return_when=FIRST_COMPLETED)
                     for future in done:
                         yield future.result()
+        else:  # processes
+            yield from self._execute_processes(pending, harness)
+
+    def _execute_processes(
+        self, pending: Sequence[WorkUnit], harness: "ExperimentHarness"
+    ) -> Iterable[UnitOutcome]:
+        """The ``processes`` executor, hardened against worker crashes.
+
+        A ``SIGKILL``-ed (or ``os._exit``-ed) worker breaks the whole
+        ``ProcessPoolExecutor``: every in-flight future fails with
+        :class:`BrokenProcessPool`.  Instead of aborting the sweep, the loop
+        respawns a fresh pool and requeues every unit whose future broke,
+        counting one ``worker_crash`` per pool generation and one ``retried``
+        per requeue on the eventually-completed outcome.  A unit whose
+        requeue count exceeds the retry budget is presumed to be *causing*
+        the crashes and aborts the sweep with a permanent
+        :class:`EvaluationError` — a deterministic crasher must not respawn
+        pools forever.
+        """
+        warm_codes = sorted({unit.dataset for unit in pending if unit.dataset})
+        queue: list[WorkUnit] = list(pending)
+        requeues: dict[str, int] = {}
+        crash_budget = self._retry_budget() + 1
+        while queue:
+            pool = ProcessPoolExecutor(
+                max_workers=self._pool_width(len(queue)),
+                initializer=_warm_worker,
+                initargs=(harness.config, warm_codes),
+            )
+            futures = {
+                pool.submit(
+                    _execute_in_worker, harness.config, unit,
+                    self.retries, self.deadline, self.backoff,
+                ): unit
+                for unit in queue
+            }
+            queue = []
+            broken = False
+            try:
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        unit = futures[future]
+                        try:
+                            outcome = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            count = requeues.get(unit.unit_id, 0) + 1
+                            requeues[unit.unit_id] = count
+                            if count >= crash_budget:
+                                raise EvaluationError(
+                                    f"work unit {unit.label()} crashed its worker "
+                                    f"{count} time(s); giving up"
+                                ) from None
+                            queue.append(unit)
+                            continue
+                        outcome.retried += requeues.get(unit.unit_id, 0)
+                        yield outcome
+            finally:
+                # wait=True: a detached management thread races the atexit
+                # wakeup hook (EBADF at interpreter exit); a broken pool
+                # joins promptly, its workers are already dead.
+                pool.shutdown(wait=True, cancel_futures=True)
+            if broken:
+                self._worker_crashes += 1

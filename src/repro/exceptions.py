@@ -8,6 +8,8 @@ README.
 
 from __future__ import annotations
 
+import errno as _errno
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -43,3 +45,51 @@ class LatticeError(ExplanationError):
 
 class EvaluationError(ReproError):
     """Raised by the evaluation harness for invalid metric configurations."""
+
+
+class TransientError(ReproError):
+    """A failure that may succeed on retry (I/O hiccup, injected fault).
+
+    The sweep runner and prediction engine retry transient failures with
+    bounded exponential backoff; anything not transient is treated as
+    permanent and surfaces immediately.  Raise (or subclass) this to opt an
+    error into the retry path.
+    """
+
+
+class DeadlineError(TransientError):
+    """A work unit overran its per-unit wall-clock deadline.
+
+    Transient by definition — a deadline overrun is assumed to be load, not
+    logic — so the runner's retry budget applies before the unit is accepted
+    late or given up on.
+    """
+
+
+#: OSError errnos that signal a plausibly-transient I/O condition.
+_TRANSIENT_ERRNOS = frozenset(
+    getattr(_errno, name)
+    for name in ("EAGAIN", "EINTR", "EBUSY", "ETIMEDOUT", "EIO")
+    if hasattr(_errno, name)
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` (or anything in its cause chain) warrants a retry.
+
+    :class:`TransientError` subclasses are transient by construction;
+    ``OSError`` is transient for the retryable errnos (``EAGAIN``, ``EINTR``,
+    ``EBUSY``, ``ETIMEDOUT``, ``EIO``).  The ``__cause__``/``__context__``
+    chain is walked so a transient root cause survives being wrapped in a
+    domain error.
+    """
+    seen: set[int] = set()
+    current: BaseException | None = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        if isinstance(current, TransientError):
+            return True
+        if isinstance(current, OSError) and current.errno in _TRANSIENT_ERRNOS:
+            return True
+        current = current.__cause__ or current.__context__
+    return False

@@ -28,15 +28,37 @@ the cheap deterministic matchers used in the tests).
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, replace
 from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro import faults
 from repro.data.records import RecordPair
-from repro.exceptions import ModelError
+from repro.exceptions import ModelError, is_transient
 from repro.models.base import MATCH_THRESHOLD, pair_cache_key
 from repro.models.featurizer import FeaturizerStats
+
+#: Environment knob for the per-batch transient-retry budget.
+ENGINE_RETRIES_ENV = "REPRO_ENGINE_RETRIES"
+DEFAULT_ENGINE_RETRIES = 2
+
+#: Backoff base between model-invocation retries (kept tiny: model calls are
+#: in-process, so the wait only needs to outlast a momentary glitch).
+_RETRY_BACKOFF_SECONDS = 0.01
+
+
+def engine_retries() -> int:
+    """Per-invocation transient-retry budget (``REPRO_ENGINE_RETRIES``)."""
+    raw = os.environ.get(ENGINE_RETRIES_ENV, "").strip()
+    if not raw:
+        return DEFAULT_ENGINE_RETRIES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_ENGINE_RETRIES
 
 
 @runtime_checkable
@@ -71,11 +93,16 @@ class EngineStats:
     ``misses``
         Distinct uncached pair contents actually sent to the model.
     ``batches``
-        Underlying model invocations (``predict_proba`` calls).  Each batch
-        carries at most ``batch_size`` pairs, so
-        ``batches >= ceil(misses / batch_size)`` with equality per call.
+        Underlying model invocations (``predict_proba`` calls) that
+        *succeeded*.  Each batch carries at most ``batch_size`` pairs, so
+        ``batches >= ceil(misses / batch_size)`` with equality per
+        fault-free call; transient-failure bisection can split one intended
+        batch into several smaller successful ones.
     ``max_batch``
         Largest single model invocation observed (diagnostic for sizing).
+    ``retries``
+        Model invocations re-attempted after a transient failure (see
+        :func:`repro.exceptions.is_transient`); 0 on every fault-free run.
     """
 
     requests: int = 0
@@ -83,6 +110,7 @@ class EngineStats:
     misses: int = 0
     batches: int = 0
     max_batch: int = 0
+    retries: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -97,6 +125,7 @@ class EngineStats:
             misses=self.misses - other.misses,
             batches=self.batches - other.batches,
             max_batch=self.max_batch,
+            retries=self.retries - other.retries,
         )
 
     def as_dict(self) -> dict[str, float | int]:
@@ -107,6 +136,7 @@ class EngineStats:
             "misses": self.misses,
             "batches": self.batches,
             "max_batch": self.max_batch,
+            "retries": self.retries,
             "hit_rate": self.hit_rate,
         }
 
@@ -143,12 +173,14 @@ class PredictionEngine:
         model: SupportsPredictProba,
         batch_size: int = 256,
         cache: bool = True,
+        retries: int | None = None,
     ) -> None:
         if batch_size <= 0:
             raise ModelError(f"engine batch_size must be positive, got {batch_size}")
         self.model = model
         self.batch_size = batch_size
         self.cache_enabled = cache
+        self.retries = retries
         self._cache: dict[tuple, float] = {}
         self._stats = EngineStats()
 
@@ -215,15 +247,12 @@ class PredictionEngine:
                 pending[key] = [index]
                 pending_pairs.append(pair)
 
-        batches = 0
-        max_batch = self._stats.max_batch
+        tally = {"batches": 0, "max_batch": self._stats.max_batch, "retries": 0}
         if pending_pairs:
             computed: list[float] = []
             for start in range(0, len(pending_pairs), self.batch_size):
                 chunk = pending_pairs[start : start + self.batch_size]
-                computed.extend(float(score) for score in self.model.predict_proba(chunk))
-                batches += 1
-                max_batch = max(max_batch, len(chunk))
+                computed.extend(self._model_scores(chunk, tally))
             for (key, positions), score in zip(pending.items(), computed):
                 for position in positions:
                     scores[position] = score
@@ -235,10 +264,50 @@ class PredictionEngine:
             requests=self._stats.requests + len(pairs),
             hits=self._stats.hits + hits,
             misses=self._stats.misses + len(pending_pairs),
-            batches=self._stats.batches + batches,
-            max_batch=max_batch,
+            batches=self._stats.batches + tally["batches"],
+            max_batch=tally["max_batch"],
+            retries=self._stats.retries + tally["retries"],
         )
         return scores
+
+    def _model_scores(self, chunk: list[RecordPair], tally: dict[str, int]) -> list[float]:
+        """Score one chunk with bounded retry and poison-row bisection.
+
+        A transient model failure re-invokes the whole chunk up to the retry
+        budget (with a tiny backoff).  If the chunk *keeps* failing and has
+        more than one pair, it is bisected and each half retried with a
+        fresh budget — recursively isolating the poison row, so one bad pair
+        costs O(log batch) extra invocations instead of the whole batch.  A
+        single pair that exhausts its budget raises :class:`ModelError`
+        naming the pair; permanent failures propagate immediately.
+        """
+        budget = engine_retries() if self.retries is None else max(0, self.retries)
+        failure: BaseException | None = None
+        for attempt in range(budget + 1):
+            if attempt:
+                tally["retries"] += 1
+                time.sleep(_RETRY_BACKOFF_SECONDS * attempt)
+            try:
+                faults.fault_step("engine.batch")
+                computed = [float(score) for score in self.model.predict_proba(chunk)]
+            except Exception as exc:
+                if not is_transient(exc):
+                    raise
+                failure = exc
+                continue
+            tally["batches"] += 1
+            tally["max_batch"] = max(tally["max_batch"], len(chunk))
+            return computed
+        if len(chunk) > 1:
+            middle = len(chunk) // 2
+            return self._model_scores(chunk[:middle], tally) + self._model_scores(
+                chunk[middle:], tally
+            )
+        pair = chunk[0]
+        raise ModelError(
+            f"prediction for pair ({pair.left.record_id!r}, {pair.right.record_id!r}) "
+            f"failed after {budget} retr{'y' if budget == 1 else 'ies'}: {failure}"
+        ) from failure
 
     def predict_pair(self, pair: RecordPair) -> float:
         """Matching score of a single pair (still counted and cached)."""

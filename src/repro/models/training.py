@@ -210,18 +210,24 @@ class ModelCache:
         from repro.models.persistence import save_model  # local: persistence imports us
 
         directory = store.model_dir(model_name, self.fast, digest)
-        save_model(trained.model, directory)
-        store.save_model_metadata(
-            directory,
-            {
-                "model_name": model_name,
-                "fast": self.fast,
-                "dataset_fingerprint": digest,
-                "report": trained.report.as_dict(),
-                "test_metrics": trained.test_metrics,
-            },
-        )
-        store.model_saves += 1
+
+        def persist() -> None:
+            save_model(trained.model, directory)
+            store.save_model_metadata(
+                directory,
+                {
+                    "model_name": model_name,
+                    "fast": self.fast,
+                    "dataset_fingerprint": digest,
+                    "report": trained.report.as_dict(),
+                    "test_metrics": trained.test_metrics,
+                },
+            )
+
+        # Routed through the store's degrade guard: a full or read-only disk
+        # costs the persisted weights, never the freshly trained model.
+        if store._guarded_write(persist):
+            store.model_saves += 1
 
     def save_artifacts(self) -> None:
         """Persist the featurisation caches of every trained matcher.

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import faults
 from repro.data.registry import load_benchmark
 from repro.models.training import train_model
 
@@ -16,14 +17,21 @@ from tests.helpers import ConstantModel, SimilarityModel, toy_dataset, toy_pairs
 
 @pytest.fixture(autouse=True)
 def _hermetic_artifact_env(monkeypatch):
-    """Keep the tier-1 suite independent of an ambient ``REPRO_ARTIFACT_DIR``.
+    """Keep the tier-1 suite independent of the ambient process environment.
 
     The suite asserts exact build/load counters; an artifact directory
     inherited from the developer's shell would turn cold builds into warm
     loads (and pollute that store with test data).  Tests that exercise
     persistence construct their own explicit :class:`ArtifactStore`.
+    A leaked ``REPRO_FAULT_PLAN`` would be worse — injected faults firing
+    inside unrelated tests — so fault plans are cleared the same way; chaos
+    tests install their own plans and clean up after themselves.
     """
     monkeypatch.delenv("REPRO_ARTIFACT_DIR", raising=False)
+    monkeypatch.delenv(faults.FAULT_PLAN_ENV, raising=False)
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
 
 
 @pytest.fixture()

@@ -415,7 +415,7 @@ class TestStoreInfrastructure:
         assert set(view) == {
             "index_loads", "index_saves", "index_misses",
             "featurizer_loads", "featurizer_saves", "featurizer_misses",
-            "model_loads", "model_saves", "model_misses",
+            "model_loads", "model_saves", "model_misses", "quarantined",
         }
 
     def test_default_store_reads_the_environment(self, tmp_path, monkeypatch):

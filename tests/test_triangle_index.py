@@ -75,6 +75,7 @@ class TestIndexStats:
             "index_candidates_pruned": 4,
             "index_bytes_resident": 0,
             "index_compile_ms": 0.0,
+            "index_degraded_queries": 0,
         }
 
     def test_loads_participate_in_arithmetic(self):
