@@ -43,6 +43,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro import env
 from repro.data.artifacts import ARTIFACT_DIR_ENV, ArtifactStore, dataset_fingerprint
 from repro.data.blocking import top_k_neighbours
 from repro.data.indexing import _TOKEN_SET_CACHE, get_source_index
@@ -61,7 +62,7 @@ SCHEMA = Schema.from_names(["name", "description", "price"])
 
 
 def _fast_mode() -> bool:
-    return os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+    return env.read_bool("REPRO_BENCH_FAST")
 
 
 def _product_record(rng: random.Random, prefix: str, index: int, source: str) -> Record:

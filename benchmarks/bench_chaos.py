@@ -25,11 +25,10 @@ Results land in ``BENCH_chaos.json`` at the repository root.
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 
-from repro import faults
+from repro import env, faults
 from repro.eval.harness import ExperimentHarness, HarnessConfig
 from repro.eval.reporting import format_table
 from repro.eval.runner import SweepRunner
@@ -64,7 +63,7 @@ METHODS = ("certa", "shap")
 
 
 def _fast_mode() -> bool:
-    return os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+    return env.read_bool("REPRO_BENCH_FAST")
 
 
 def _timed_sweep(harness: ExperimentHarness, runner: SweepRunner) -> tuple[float, list[dict]]:

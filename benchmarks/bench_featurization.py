@@ -19,10 +19,10 @@ from __future__ import annotations
 
 import itertools
 import json
-import os
 import time
 from pathlib import Path
 
+from repro import env
 from repro.certa.perturbation import perturbed_pair
 from repro.data.registry import load_benchmark
 from repro.eval.reporting import format_table
@@ -41,7 +41,7 @@ MODEL_NAMES = ("deeper", "deepmatcher", "ditto")
 
 
 def _fast_mode() -> bool:
-    return os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+    return env.read_bool("REPRO_BENCH_FAST")
 
 
 def _lattice_workload() -> list:

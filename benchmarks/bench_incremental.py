@@ -30,11 +30,11 @@ land in ``BENCH_incremental.json`` at the repository root;
 from __future__ import annotations
 
 import json
-import os
 import random
 import time
 from pathlib import Path
 
+from repro import env
 from repro.data.blocking import top_k_neighbours
 from repro.data.indexing import SourceTokenIndex, changed_pairs, get_source_index
 from repro.data.records import Record, Schema
@@ -50,7 +50,7 @@ SCHEMA = Schema.from_names(["name", "description", "price"])
 
 
 def _fast_mode() -> bool:
-    return os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+    return env.read_bool("REPRO_BENCH_FAST")
 
 
 def _product_record(rng: random.Random, record_id: str, source: str) -> Record:

@@ -29,6 +29,7 @@ import random
 import time
 from pathlib import Path
 
+from repro import env
 from repro.data.blocking import top_k_neighbours
 from repro.data.indexing import SourceTokenIndex, build_sharded_index, get_source_index
 from repro.data.synthetic import iter_synthetic_records, synthetic_schema
@@ -43,7 +44,7 @@ RESULT_PATH = REPO_ROOT / "BENCH_index_scale.json"
 
 
 def _fast_mode() -> bool:
-    return os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+    return env.read_bool("REPRO_BENCH_FAST")
 
 
 def _source_size() -> int:

@@ -63,7 +63,7 @@ def test_table6_diversity(benchmark, counterfactual_rows, results_dir):
 
     mean_by_method = {
         method: float(np.mean([row["diversity"] for row in rows if row["method"] == method]))
-        for method in {row["method"] for row in rows}
+        for method in sorted({row["method"] for row in rows})
     }
     print(f"mean diversity by method: {mean_by_method}")
     assert mean_by_method["certa"] >= 0.0

@@ -21,11 +21,11 @@ repository root so the perf trajectory stays machine-readable across PRs.
 from __future__ import annotations
 
 import json
-import os
 import random
 import time
 from pathlib import Path
 
+from repro import env
 from repro.data.blocking import token_blocking, top_k_neighbours
 from repro.data.indexing import get_source_index
 from repro.data.records import Record, Schema
@@ -41,7 +41,7 @@ SCHEMA = Schema.from_names(["name", "description", "price"])
 
 
 def _fast_mode() -> bool:
-    return os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+    return env.read_bool("REPRO_BENCH_FAST")
 
 
 def _product_record(rng: random.Random, prefix: str, index: int, source: str) -> Record:

@@ -33,11 +33,11 @@ full 12-dataset, tau = 100 configuration of the paper.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
 
+from repro import env
 from repro.eval.harness import ExperimentHarness, HarnessConfig, full_config
 from repro.eval.runner import SweepRunner
 
@@ -46,7 +46,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 def benchmark_config() -> HarnessConfig:
     """The harness configuration used by the benchmark suite."""
-    if os.environ.get("REPRO_FULL", "0") == "1":
+    if env.read_bool("REPRO_FULL"):
         return full_config()
     return HarnessConfig(
         datasets=("AB", "BA", "FZ"),
@@ -64,9 +64,9 @@ def benchmark_config() -> HarnessConfig:
 
 def benchmark_runner() -> SweepRunner:
     """The sweep runner used by the benchmark suite (env-configurable)."""
-    executor = os.environ.get("REPRO_EXECUTOR", "serial")
+    executor = env.read_str("REPRO_EXECUTOR")
     checkpoint = None
-    if os.environ.get("REPRO_CHECKPOINT", "0") == "1":
+    if env.read_bool("REPRO_CHECKPOINT"):
         checkpoint = RESULTS_DIR / "checkpoints" / "benchmark_units.jsonl"
     return SweepRunner(executor=executor, checkpoint=checkpoint)
 

@@ -1,0 +1,88 @@
+"""Renderers for :class:`~repro.analysis.core.AnalysisResult`.
+
+Two formats: human-oriented text (the default, one ``path:line:col ID
+message`` line per finding plus a summary) and machine-oriented JSON (stable
+schema, consumed by the test suite and any CI annotation tooling).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import RULES, AnalysisResult
+
+#: Schema version of the JSON report; bump on incompatible shape changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: AnalysisResult, verbose: bool = False) -> str:
+    """The human-readable report."""
+    lines: list[str] = []
+    for finding in result.active:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.column + 1}: "
+            f"{finding.rule_id} {finding.message}"
+        )
+    if verbose and result.suppressed:
+        lines.append("")
+        lines.append("suppressed:")
+        for finding, suppression in result.suppressed:
+            lines.append(
+                f"  {finding.path}:{finding.line}: {finding.rule_id} -- {suppression.reason}"
+            )
+    if lines:
+        lines.append("")
+    lines.append(
+        f"repro-lint: {len(result.active)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{result.files_scanned} file(s) scanned"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """The machine-readable report (stable schema, sorted keys)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "paths": result.paths,
+        "files_scanned": result.files_scanned,
+        "clean": result.clean,
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column,
+                "message": finding.message,
+            }
+            for finding in result.active
+        ],
+        "suppressed": [
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column,
+                "message": finding.message,
+                "reason": suppression.reason,
+            }
+            for finding, suppression in result.suppressed
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """``--list-rules`` output: every registered rule, grouped by family."""
+    lines: list[str] = []
+    family = ""
+    for rule_id in sorted(RULES):
+        registered = RULES[rule_id]
+        if registered.family != family:
+            if family:
+                lines.append("")
+            family = registered.family
+            lines.append(f"{family}:")
+        scopes = ",".join(sorted(registered.scopes)) or "all"
+        lines.append(f"  {rule_id}  [{scopes}]  {registered.title}")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""The repro-lint rule set.
+
+Importing this package registers every rule into
+:data:`repro.analysis.core.RULES`; the modules group rules by family:
+
+* :mod:`~repro.analysis.rules.det` — determinism (DET001-DET004)
+* :mod:`~repro.analysis.rules.env_rules` — env-knob discipline (ENV001-ENV002)
+* :mod:`~repro.analysis.rules.ioh` — I/O hardening (IOH001-IOH003)
+* :mod:`~repro.analysis.rules.exc` — exception taxonomy (EXC001-EXC003)
+* :mod:`~repro.analysis.rules.conc` — lock discipline (CONC001-CONC002)
+
+(The SUP meta-rules live in :mod:`repro.analysis.core` itself.)
+"""
+
+from repro.analysis.rules import conc, det, env_rules, exc, ioh
+
+__all__ = ["conc", "det", "env_rules", "exc", "ioh"]

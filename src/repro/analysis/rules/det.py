@@ -1,0 +1,194 @@
+"""DET — determinism rules.
+
+The library's headline contract is byte-identical output for identical
+inputs: same rows regardless of executor, same artifact bytes regardless of
+process interleaving (pinned by the chaos and sweep suites).  These rules
+flag the constructs that break that contract silently — salted string
+hashes, unordered set iteration, hidden global RNG state and wall-clock
+reads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, dotted_name, rule
+
+#: Seeded / explicitly-constructed RNG entry points (fine everywhere).
+_SEEDED_RNG = frozenset(
+    {"Random", "SystemRandom", "default_rng", "RandomState", "Generator", "SeedSequence"}
+)
+
+#: Monotonic / duration clocks are fine; these read the wall clock.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.asctime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+
+@rule(
+    "DET001",
+    "Salted `hash()` call",
+    "`hash()` on strings (and anything containing them) is salted per process "
+    "(`PYTHONHASHSEED`), so any value derived from it differs between runs and "
+    "between pool workers. Use `hashlib` digests (see `Record.content_digest`) "
+    "for anything that reaches an artifact, a cache key shared across "
+    "processes, or an ordering. `__hash__` implementations are exempt: their "
+    "result only feeds in-process dict/set placement.",
+    scopes=("src",),
+)
+def check_hash_calls(context: FileContext) -> Iterator[tuple[int, int, str]]:
+    def visit(node: ast.AST, in_hash_method: bool) -> Iterator[tuple[int, int, str]]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            in_hash_method = in_hash_method or node.name == "__hash__"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+            and not in_hash_method
+        ):
+            yield (
+                node.lineno,
+                node.col_offset,
+                "hash() is salted per process; use a hashlib digest for any "
+                "value that outlives this process or orders output",
+            )
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, in_hash_method)
+
+    yield from visit(context.tree, False)
+
+
+def _is_set_like(node: ast.expr) -> bool:
+    """Whether ``node`` statically evaluates to a set (unordered iteration)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        if callee in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr
+            in ("union", "intersection", "difference", "symmetric_difference", "copy")
+            and _is_set_like(node.func.value)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_like(node.left) or _is_set_like(node.right)
+    return False
+
+
+_MESSAGE_DET002 = (
+    "iterating a set yields hash order, which is salted for strings; wrap "
+    "in sorted() before the order can reach output, an artifact or a cache"
+)
+
+
+@rule(
+    "DET002",
+    "Order-sensitive iteration over a set",
+    "Set iteration order follows the per-process string-hash salt. A `for` "
+    "loop, comprehension, `list()`/`tuple()`/`enumerate()` or `str.join` over "
+    "a set therefore produces a different sequence each run — the exact bug "
+    "class that once made merged featurizer archives non-byte-identical. "
+    "Order-independent consumers (`sorted`, `len`, `min`/`max`, membership) "
+    "are fine and not flagged.",
+)
+def check_set_iteration(context: FileContext) -> Iterator[tuple[int, int, str]]:
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.For) and _is_set_like(node.iter):
+            yield node.iter.lineno, node.iter.col_offset, _MESSAGE_DET002
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                if _is_set_like(generator.iter):
+                    yield generator.iter.lineno, generator.iter.col_offset, _MESSAGE_DET002
+        elif isinstance(node, ast.Call):
+            callee = dotted_name(node.func)
+            if (
+                callee in ("list", "tuple", "enumerate", "iter")
+                and node.args
+                and _is_set_like(node.args[0])
+            ):
+                yield node.args[0].lineno, node.args[0].col_offset, _MESSAGE_DET002
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and node.args
+                and _is_set_like(node.args[0])
+            ):
+                yield node.args[0].lineno, node.args[0].col_offset, _MESSAGE_DET002
+
+
+@rule(
+    "DET003",
+    "Global (unseeded) RNG state",
+    "Module-level `random.*` / `np.random.*` functions draw from hidden global "
+    "state, so results depend on everything else that touched the RNG — across "
+    "threads, across test order, across pool workers. Every stochastic "
+    "component in this library threads an explicit seeded generator "
+    "(`random.Random(seed)` / `np.random.default_rng(seed)`); constructing "
+    "one is allowed, calling the global entry points is not.",
+)
+def check_global_rng(context: FileContext) -> Iterator[tuple[int, int, str]]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = dotted_name(node.func)
+        if callee is None or "." not in callee:
+            continue
+        parts = callee.split(".")
+        function = parts[-1]
+        prefix = ".".join(parts[:-1])
+        if prefix in ("random", "np.random", "numpy.random") and function not in _SEEDED_RNG:
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"{callee}() draws from hidden global RNG state; construct an "
+                "explicit seeded generator instead "
+                "(random.Random(seed) / np.random.default_rng(seed))",
+            )
+
+
+@rule(
+    "DET004",
+    "Wall-clock read in library code",
+    "Wall-clock values (`time.time`, `datetime.now`, ...) leak "
+    "non-reproducible data into whatever consumes them, and break the "
+    "byte-identical artifact contract the moment one reaches a report or "
+    "cache key. Duration measurement belongs to `time.perf_counter` / "
+    "`time.monotonic` (allowed); timestamps in artifacts must come from the "
+    "caller as explicit inputs.",
+    scopes=("src",),
+)
+def check_wall_clock(context: FileContext) -> Iterator[tuple[int, int, str]]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = dotted_name(node.func)
+        if callee in _WALL_CLOCK:
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"{callee}() reads the wall clock; use time.perf_counter/"
+                "time.monotonic for durations, or take timestamps as explicit "
+                "caller inputs",
+            )

@@ -1,0 +1,145 @@
+"""EXC — exception-taxonomy rules.
+
+The library classifies every failure as transient (retry) or permanent
+(skip and count) through the :mod:`repro.exceptions` taxonomy; the sweep
+runner's retry budget, the engine's bisection and the per-row
+``skip_errors`` accounting all depend on that classification surviving the
+`except` clauses between the failure and the policy code.  A broad handler
+that swallows or re-wraps outside the taxonomy erases the signal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, rule
+
+#: Exception names considered "broad": catching these catches everything.
+_BROAD = ("Exception", "BaseException")
+
+
+def _taxonomy_names() -> frozenset[str]:
+    """Class names of the library's exception taxonomy, collected live."""
+    from repro import exceptions, faults
+
+    names: set[str] = set()
+    for module in (exceptions, faults):
+        for name, value in vars(module).items():
+            if isinstance(value, type) and issubclass(value, exceptions.ReproError):
+                names.add(name)
+    return frozenset(names)
+
+
+def _is_broad(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False  # bare except is EXC001's finding, not EXC002/003's
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _BROAD
+    if isinstance(annotation, ast.Tuple):
+        return any(_is_broad(element) for element in annotation.elts)
+    return False
+
+
+def _swallows_silently(body: list[ast.stmt]) -> bool:
+    """Whether the handler body does nothing (``pass`` / ``...`` only)."""
+    return all(
+        isinstance(statement, ast.Pass)
+        or (isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant))
+        for statement in body
+    )
+
+
+def _handles_via_taxonomy(body: list[ast.stmt], taxonomy: frozenset[str]) -> bool:
+    """Whether the body re-raises, raises a taxonomy error, or classifies."""
+    for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            if node.exc is None:
+                return True  # bare re-raise: the original propagates
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            if isinstance(target, ast.Attribute):
+                name = target.attr
+            elif isinstance(target, ast.Name):
+                name = target.id
+            else:
+                continue
+            if name in taxonomy:
+                return True
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            name = callee.attr if isinstance(callee, ast.Attribute) else getattr(callee, "id", None)
+            if name == "is_transient":
+                return True  # explicit transient/permanent classification
+    return False
+
+
+@rule(
+    "EXC001",
+    "Bare `except:`",
+    "A bare `except:` catches `KeyboardInterrupt` and `SystemExit`, turning "
+    "Ctrl-C and worker shutdown into silently-handled events. There is no "
+    "legitimate use in this tree; catch `Exception` at the broadest.",
+)
+def check_bare_except(context: FileContext) -> Iterator[tuple[int, int, str]]:
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield (
+                node.lineno,
+                node.col_offset,
+                "bare except catches KeyboardInterrupt/SystemExit; name the "
+                "exception types (Exception at the broadest)",
+            )
+
+
+@rule(
+    "EXC002",
+    "Broad handler outside the taxonomy",
+    "`except Exception` that neither re-raises, raises a `repro.exceptions` "
+    "taxonomy error, nor classifies via `is_transient` strips the "
+    "transient/permanent signal the retry and skip-accounting layers run on. "
+    "Annotated recovery sites (degrade-to-rebuild, tier fallback) suppress "
+    "this rule with their recovery contract as the reason.",
+    scopes=("src",),
+)
+def check_broad_handler(context: FileContext) -> Iterator[tuple[int, int, str]]:
+    taxonomy = _taxonomy_names()
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.ExceptHandler) or not _is_broad(node.type):
+            continue
+        if _swallows_silently(node.body):
+            continue  # EXC003's finding
+        if _handles_via_taxonomy(node.body, taxonomy):
+            continue
+        yield (
+            node.lineno,
+            node.col_offset,
+            "broad except neither re-raises, raises a repro.exceptions "
+            "taxonomy error, nor classifies via is_transient; narrow it, "
+            "wrap in a taxonomy type, or annotate the recovery contract",
+        )
+
+
+@rule(
+    "EXC003",
+    "Broad handler that swallows silently",
+    "`except Exception: pass` makes every failure — including injected chaos "
+    "faults and genuine bugs — invisible. The library's recovery sites always "
+    "do something observable: degrade to a counted fallback, return a "
+    "sentinel the caller checks, or record the skip in `skip_errors`.",
+    scopes=("src",),
+)
+def check_silent_swallow(context: FileContext) -> Iterator[tuple[int, int, str]]:
+    for node in ast.walk(context.tree):
+        if (
+            isinstance(node, ast.ExceptHandler)
+            and _is_broad(node.type)
+            and _swallows_silently(node.body)
+        ):
+            yield (
+                node.lineno,
+                node.col_offset,
+                "broad except with an empty body swallows every failure "
+                "silently; degrade observably or narrow the exception type",
+            )

@@ -1,0 +1,123 @@
+"""IOH — I/O hardening rules.
+
+PR 8's durability contract: every artifact reaches disk as temp file +
+``fsync`` + ``os.replace`` + directory ``fsync``, so a crash at any byte
+leaves either the old file or the new one, never a torn hybrid (pinned by
+the chaos suite's kill-mid-write tests).  The helpers in
+``repro.data.artifacts`` (``atomic_writer``, ``write_atomic_text``,
+``write_atomic_npz``) implement that contract once; these rules flag write
+paths that sidestep them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, dotted_name, rule
+
+#: The one module allowed to write files directly: it implements the helpers.
+_WRITE_MODULE = "src/repro/data/artifacts.py"
+
+_HELPER_HINT = (
+    "route the write through repro.data.artifacts (atomic_writer / "
+    "write_atomic_text / write_atomic_npz) so a crash cannot leave a torn file"
+)
+
+
+def _mode_literal(node: ast.Call, position: int) -> str | None:
+    """The call's file-mode string, from ``position`` or ``mode=``; None if dynamic."""
+    mode: ast.expr | None = None
+    if len(node.args) > position:
+        mode = node.args[position]
+    else:
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+@rule(
+    "IOH001",
+    "Raw `open()` in write mode",
+    "`open(path, 'w')` truncates in place: a crash between the truncate and "
+    "the final flush leaves a short or empty file that a resuming process "
+    "will happily parse. Append mode is exempt (the checkpoint store's "
+    "fsync-per-line protocol is truncation-tolerant by design); read modes "
+    "are exempt; `repro.data.artifacts` is exempt because it implements the "
+    "atomic helpers.",
+    scopes=("src",),
+)
+def check_raw_open(context: FileContext) -> Iterator[tuple[int, int, str]]:
+    if context.is_module(_WRITE_MODULE):
+        return
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            mode = _mode_literal(node, 1)
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "open":
+            if dotted_name(node.func) in ("os.open",):
+                continue  # fd-level open; flags-based, not mode-string-based
+            mode = _mode_literal(node, 0)
+        else:
+            continue
+        if mode is None or not any(flag in mode for flag in "wx+"):
+            continue
+        yield (
+            node.lineno,
+            node.col_offset,
+            f"open(..., {mode!r}) writes in place; {_HELPER_HINT}",
+        )
+
+
+@rule(
+    "IOH002",
+    "Raw `os.replace` / `os.rename`",
+    "A rename is only atomic-durable when the written temp file was fsynced "
+    "first and the directory entry is fsynced after — the exact sequence the "
+    "artifact helpers implement. A bare `os.replace` elsewhere is either "
+    "redundant with them or quietly missing one of the fsyncs.",
+    scopes=("src",),
+)
+def check_raw_replace(context: FileContext) -> Iterator[tuple[int, int, str]]:
+    if context.is_module(_WRITE_MODULE):
+        return
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = dotted_name(node.func)
+        if callee in ("os.replace", "os.rename"):
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"{callee}() outside the artifact helpers skips the "
+                f"fsync-before/after discipline; {_HELPER_HINT}",
+            )
+
+
+@rule(
+    "IOH003",
+    "`Path.write_text` / `Path.write_bytes`",
+    "The pathlib one-shot writers truncate in place with no fsync and no "
+    "rename — the least crash-safe write available. Convenient in scripts, "
+    "but every persistent byte in this library flows through the atomic "
+    "helpers so the chaos suite's kill-anywhere guarantee holds tree-wide.",
+    scopes=("src",),
+)
+def check_pathlib_writers(context: FileContext) -> Iterator[tuple[int, int, str]]:
+    if context.is_module(_WRITE_MODULE):
+        return
+    for node in ast.walk(context.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("write_text", "write_bytes")
+        ):
+            yield (
+                node.lineno,
+                node.col_offset,
+                f".{node.func.attr}() truncates in place with no fsync; {_HELPER_HINT}",
+            )

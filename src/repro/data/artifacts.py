@@ -47,6 +47,7 @@ the per-worker warm start that makes resumed multi-process sweeps cheap.
 
 from __future__ import annotations
 
+import contextlib
 import errno
 import hashlib
 import json
@@ -62,7 +63,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro import faults
+from repro import env, faults
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports (no cycle at runtime)
     from repro.data.dataset import ERDataset
@@ -220,6 +221,43 @@ def write_atomic_npz(path: Path, arrays: Mapping[str, np.ndarray]) -> None:
             os.fsync(handle.fileno())
         if action is not None and action.kind == "corrupt":
             _corrupt_file(temp_name)
+        os.replace(temp_name, path)
+        _fsync_directory(path.parent)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+@contextlib.contextmanager
+def atomic_writer(path: Path, mode: str = "w", newline: str | None = None):
+    """A write handle whose contents reach ``path`` atomically and durably.
+
+    The streaming counterpart of :func:`write_atomic_text` for callers that
+    produce output incrementally (CSV writers, JSONL row streams): the handle
+    writes to a temp file in ``path``'s directory, is fsynced on close, and
+    ``os.replace``\\ d over ``path`` — so a crash mid-write leaves the old
+    file (or nothing), never a torn one.  ``mode`` is ``"w"`` or ``"wb"``;
+    ``newline`` is forwarded for text handles (pass ``""`` for ``csv``).
+
+    Unlike the artifact-store helpers this takes no ``artifact.write`` fault
+    step: report/dataset writes are not artifact-store writes, and routing
+    them through that fault scope would shift every chaos-plan hit count.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        if "b" in mode:
+            handle = os.fdopen(descriptor, "wb")
+        else:
+            handle = os.fdopen(descriptor, "w", encoding="utf-8", newline=newline)
+        with handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(temp_name, path)
         _fsync_directory(path.parent)
     except BaseException:
@@ -834,7 +872,11 @@ class ArtifactStore:
 def _merge_featurizer_states(old: Mapping[str, dict], new: Mapping[str, dict]) -> dict[str, dict]:
     """Union two exported featurizer states; ``new`` wins on key overlap."""
     merged: dict[str, dict] = {}
-    for name in set(old) | set(new):
+    # Sorted, not raw set iteration: the merged dict's key order becomes the
+    # member order of the persisted npz archive, and set iteration over
+    # per-process-salted string hashes would make two processes write
+    # byte-different archives for identical cache contents.
+    for name in sorted(set(old) | set(new)):
         old_block = old.get(name)
         new_block = new.get(name)
         if old_block is None or not len(old_block["keys"]):
@@ -880,7 +922,7 @@ def default_store() -> ArtifactStore | None:
     strictly opt-in.  Memoising per path keeps one set of counters per
     directory, so smoke tests can assert over everything the process loaded.
     """
-    directory = os.environ.get(ARTIFACT_DIR_ENV, "").strip()
+    directory = env.read_str(ARTIFACT_DIR_ENV).strip()
     if not directory:
         return None
     store = _DEFAULT_STORES.get(directory)

@@ -521,7 +521,7 @@ class SourceTokenIndex:
         arena_offsets = payload["arena_offsets"]
         arena_tokens = payload["arena_tokens"]
         if records:
-            for position in {0, len(records) // 2, len(records) - 1}:
+            for position in sorted({0, len(records) // 2, len(records) - 1}):
                 expected = frozenset(
                     token
                     for token in tokenize(records[position].as_text())
@@ -977,7 +977,7 @@ class SourceTokenIndex:
             try:
                 faults.fault_step("index.compiled")
                 shards = self._compiled.shards
-            except Exception:
+            except Exception:  # repro-lint: disable=EXC002 -- recovery contract: a compiled-tier fault degrades to the byte-identical dict traversal below, counted in degraded_queries
                 self.degraded_queries += 1
             else:
                 slots_store = self._slots
@@ -1069,15 +1069,11 @@ class SourceTokenIndex:
         if use_compiled:
             try:
                 return self._top_k_compiled(query_set, total, wanted, excluded)
-            except Exception:
-                # Graceful degradation: a compiled-tier fault (injected or
-                # real) falls back to the dict walk, which is byte-identical.
+            except Exception:  # repro-lint: disable=EXC002 -- recovery contract: a compiled-tier fault (injected or real) falls back to the byte-identical dict walk, counted in degraded_queries
                 self.degraded_queries += 1
         try:
             return self._top_k_dict(query_set, total, wanted, excluded)
-        except Exception:
-            # Last resort: the reference scan needs nothing but the records
-            # and the tokeniser, and ranks identically to both fast tiers.
+        except Exception:  # repro-lint: disable=EXC002 -- recovery contract: last resort before the reference scan, which needs only records + tokeniser and ranks identically to both fast tiers
             self.degraded_queries += 1
         return self._top_k_scan(query_set, total, wanted, excluded)
 
@@ -1349,7 +1345,7 @@ class SourceTokenIndex:
                     for slot in row.tolist():
                         found.add(self._slots[slot].record_id)
                 return found
-            except Exception:
+            except Exception:  # repro-lint: disable=EXC002 -- recovery contract: a compiled-tier fault clears the partial result and re-walks the dict postings, which yield the identical id set
                 self.degraded_queries += 1
                 found.clear()
         self._ensure_dict_state()

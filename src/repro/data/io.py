@@ -23,6 +23,7 @@ import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.data.artifacts import atomic_writer
 from repro.data.dataset import ERDataset, PairSplit
 from repro.data.records import Record, RecordPair, Schema, pairs_from_ids
 from repro.data.table import CONTENT_HASH_VERSION, DataSource
@@ -33,10 +34,13 @@ if TYPE_CHECKING:  # pragma: no cover - annotation only
 
 
 def write_source_csv(source: DataSource, path: str | Path, id_column: str = "id") -> Path:
-    """Write a data source as a CSV file with an explicit id column."""
+    """Write a data source as a CSV file with an explicit id column.
+
+    Atomic (temp file + fsync + rename): a crash mid-write can never leave a
+    torn table for a later :func:`load_dataset` to misreport as corruption.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="", encoding="utf-8") as handle:
+    with atomic_writer(path, newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow([id_column, *source.schema.attributes])
         for record in source:
@@ -70,10 +74,9 @@ def read_source_csv(
 
 
 def write_pairs_csv(pairs: Sequence[RecordPair], path: str | Path) -> Path:
-    """Write labelled pairs as ``ltable_id,rtable_id,label`` rows."""
+    """Write labelled pairs as ``ltable_id,rtable_id,label`` rows (atomic)."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="", encoding="utf-8") as handle:
+    with atomic_writer(path, newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["ltable_id", "rtable_id", "label"])
         for pair in pairs:
@@ -129,7 +132,8 @@ def save_dataset(
         },
         "hash_version": CONTENT_HASH_VERSION,
     }
-    (directory / "metadata.json").write_text(json.dumps(metadata, indent=2), encoding="utf-8")
+    with atomic_writer(directory / "metadata.json") as handle:
+        handle.write(json.dumps(metadata, indent=2))
     if artifact_store is not None:
         from repro.data.blocking import DEFAULT_BLOCKING_TOKEN_LENGTH
         from repro.data.indexing import get_source_index
@@ -198,10 +202,9 @@ def load_dataset(
 
 
 def records_to_jsonl(records: Iterable[Record], path: str | Path) -> Path:
-    """Write records as JSON lines (one record per line)."""
+    """Write records as JSON lines, one record per line (atomic)."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
+    with atomic_writer(path) as handle:
         for record in records:
             handle.write(
                 json.dumps({"id": record.record_id, "source": record.source, "values": dict(record.values)})

@@ -25,7 +25,6 @@ variable ``REPRO_FULL=1`` (or use :func:`full_config`) to run the complete
 
 from __future__ import annotations
 
-import os
 import random
 import threading
 import time
@@ -34,6 +33,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import env
 from repro.certa.explainer import CertaExplainer, CertaExplanation
 from repro.certa.lattice import monotonicity_violations
 from repro.certa.perturbation import perturbed_pair
@@ -114,7 +114,7 @@ def full_config() -> HarnessConfig:
 
 def default_config() -> HarnessConfig:
     """Quick configuration by default; paper-scale when ``REPRO_FULL=1`` is set."""
-    if os.environ.get("REPRO_FULL", "0") == "1":
+    if env.read_bool("REPRO_FULL"):
         return full_config()
     return HarnessConfig()
 

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.exceptions import NotFittedError
+
 
 @dataclass
 class RidgeRegressor:
@@ -33,7 +35,7 @@ class RidgeRegressor:
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Predicted confidences, clipped to [0, 1]."""
         if self._coefficients is None:
-            raise RuntimeError("RidgeRegressor.predict called before fit")
+            raise NotFittedError("RidgeRegressor.predict called before fit")
         features = np.asarray(features, dtype=np.float64)
         design = np.hstack([features, np.ones((features.shape[0], 1))])
         return np.clip(design @ self._coefficients, 0.0, 1.0)

@@ -23,6 +23,8 @@ import json
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from repro.data.artifacts import atomic_writer
+
 
 def format_table(rows: Sequence[dict[str, object]], columns: Sequence[str] | None = None, precision: int = 3) -> str:
     """Render rows as a fixed-width text table."""
@@ -196,10 +198,9 @@ def merge_row_streams(*streams: Iterable[dict[str, object]]) -> Iterator[dict[st
 
 
 def write_jsonl(rows: Iterable[dict[str, object]], path: str | Path) -> Path:
-    """Persist rows as JSON Lines (one row object per line)."""
+    """Persist rows as JSON Lines, one row object per line (atomic)."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
+    with atomic_writer(path) as handle:
         for row in rows:
             handle.write(json.dumps(row, sort_keys=True) + "\n")
     return path
@@ -228,28 +229,25 @@ def read_jsonl(path: str | Path) -> Iterator[dict[str, object]]:
 
 
 def write_manifest(manifest: dict[str, object], path: str | Path) -> Path:
-    """Persist a sweep-run manifest (see ``SweepResult.manifest``) as JSON."""
+    """Persist a sweep-run manifest (see ``SweepResult.manifest``) as JSON (atomic)."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    with atomic_writer(path) as handle:
+        handle.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     return path
 
 
 def write_csv(rows: Iterable[dict[str, object]], path: str | Path) -> Path:
-    """Persist rows as CSV (used by the benchmark scripts to archive results)."""
+    """Persist rows as CSV, atomically (benchmark scripts archive results here)."""
     rows = list(rows)
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    if not rows:
-        path.write_text("", encoding="utf-8")
-        return path
     columns: list[str] = []
     for row in rows:
         for column in row:
             if column not in columns:
                 columns.append(column)
-    with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.DictWriter(handle, fieldnames=columns)
-        writer.writeheader()
-        writer.writerows(rows)
+    with atomic_writer(path, newline="") as handle:
+        if rows:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            writer.writerows(rows)
     return path

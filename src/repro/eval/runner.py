@@ -56,7 +56,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro import faults
+from repro import env, faults
 from repro.eval.reporting import aggregate_skip_errors, read_jsonl, write_manifest
 from repro.exceptions import DeadlineError, EvaluationError, is_transient
 
@@ -71,41 +71,32 @@ RUNNER_SCHEMA_VERSION = 2
 #: The executors :class:`SweepRunner` supports.
 EXECUTORS = ("serial", "threads", "processes")
 
-#: Environment knobs of the per-unit retry machinery (overridable per runner).
+#: Environment knobs of the per-unit retry machinery (overridable per runner;
+#: declared in :mod:`repro.env`).
 UNIT_RETRIES_ENV = "REPRO_UNIT_RETRIES"
 UNIT_DEADLINE_ENV = "REPRO_UNIT_DEADLINE"
 UNIT_BACKOFF_ENV = "REPRO_UNIT_BACKOFF"
 
 #: Defaults: 2 retries, no deadline, 50 ms backoff base, 2 s backoff ceiling.
-DEFAULT_UNIT_RETRIES = 2
-DEFAULT_UNIT_DEADLINE = 0.0
-DEFAULT_UNIT_BACKOFF = 0.05
+DEFAULT_UNIT_RETRIES = env.knob(UNIT_RETRIES_ENV).default
+DEFAULT_UNIT_DEADLINE = env.knob(UNIT_DEADLINE_ENV).default
+DEFAULT_UNIT_BACKOFF = env.knob(UNIT_BACKOFF_ENV).default
 MAX_BACKOFF_SECONDS = 2.0
-
-
-def _env_number(name: str, default: float) -> float:
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return default
-    try:
-        return float(raw)
-    except ValueError:
-        return default
 
 
 def unit_retries() -> int:
     """Per-unit transient-retry budget (``REPRO_UNIT_RETRIES``, default 2)."""
-    return max(0, int(_env_number(UNIT_RETRIES_ENV, DEFAULT_UNIT_RETRIES)))
+    return max(0, env.read_int(UNIT_RETRIES_ENV))
 
 
 def unit_deadline() -> float:
     """Per-unit wall-clock deadline in seconds (``REPRO_UNIT_DEADLINE``, 0 = off)."""
-    return max(0.0, _env_number(UNIT_DEADLINE_ENV, DEFAULT_UNIT_DEADLINE))
+    return max(0.0, env.read_float(UNIT_DEADLINE_ENV))
 
 
 def unit_backoff() -> float:
     """Exponential-backoff base in seconds (``REPRO_UNIT_BACKOFF``)."""
-    return max(0.0, _env_number(UNIT_BACKOFF_ENV, DEFAULT_UNIT_BACKOFF))
+    return max(0.0, env.read_float(UNIT_BACKOFF_ENV))
 
 
 def backoff_delay(base: float, attempt: int, key: str) -> float:

@@ -59,9 +59,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping
 
+from repro import env
 from repro.exceptions import ReproError, TransientError
 
-#: Environment variable carrying a JSON-serialised plan to worker processes.
+#: Environment variable carrying a JSON-serialised plan to worker processes
+#: (declared in :mod:`repro.env`).
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
 #: The fault kinds a rule may request.
@@ -175,7 +177,7 @@ class FaultPlan:
         marker = Path(self.state_dir) / f"fired-{rule.once_key}"
         try:
             marker.parent.mkdir(parents=True, exist_ok=True)
-            with open(marker, "x", encoding="utf-8"):
+            with open(marker, "x", encoding="utf-8"):  # repro-lint: disable=IOH001 -- O_EXCL creation IS the atomic cross-process claim; the marker carries no data, so the fsync-before-rename contract does not apply
                 pass
         except FileExistsError:
             return False
@@ -236,9 +238,9 @@ def install_plan(plan: FaultPlan | None) -> None:
     _COUNTERS.clear()
     _ENV_CACHE = (None, None)
     if plan is None:
-        os.environ.pop(FAULT_PLAN_ENV, None)
+        env.unset(FAULT_PLAN_ENV)
     else:
-        os.environ[FAULT_PLAN_ENV] = plan.to_json()
+        env.set_raw(FAULT_PLAN_ENV, plan.to_json())
 
 
 def clear_plan() -> None:
@@ -257,7 +259,7 @@ def active_plan() -> FaultPlan | None:
     global _ENV_CACHE
     if _ACTIVE_PLAN is not None:
         return _ACTIVE_PLAN
-    raw = os.environ.get(FAULT_PLAN_ENV) or None
+    raw = env.read_str(FAULT_PLAN_ENV) or None
     if raw is None:
         return None
     cached_raw, cached_plan = _ENV_CACHE
@@ -274,7 +276,7 @@ def fault_step(scope: str) -> FaultAction | None:
     sleeps, or returns a :class:`FaultAction` the caller must enact
     (``corrupt``/``torn``).
     """
-    if _ACTIVE_PLAN is None and FAULT_PLAN_ENV not in os.environ:
+    if _ACTIVE_PLAN is None and not env.is_set(FAULT_PLAN_ENV):
         return None
     plan = active_plan()
     if plan is None:

@@ -28,22 +28,22 @@ the cheap deterministic matchers used in the tests).
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass, replace
 from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from repro import faults
+from repro import env, faults
 from repro.data.records import RecordPair
 from repro.exceptions import ModelError, is_transient
 from repro.models.base import MATCH_THRESHOLD, pair_cache_key
 from repro.models.featurizer import FeaturizerStats
 
-#: Environment knob for the per-batch transient-retry budget.
+#: Environment knob for the per-batch transient-retry budget (declared in
+#: :mod:`repro.env`).
 ENGINE_RETRIES_ENV = "REPRO_ENGINE_RETRIES"
-DEFAULT_ENGINE_RETRIES = 2
+DEFAULT_ENGINE_RETRIES = env.knob(ENGINE_RETRIES_ENV).default
 
 #: Backoff base between model-invocation retries (kept tiny: model calls are
 #: in-process, so the wait only needs to outlast a momentary glitch).
@@ -52,13 +52,7 @@ _RETRY_BACKOFF_SECONDS = 0.01
 
 def engine_retries() -> int:
     """Per-invocation transient-retry budget (``REPRO_ENGINE_RETRIES``)."""
-    raw = os.environ.get(ENGINE_RETRIES_ENV, "").strip()
-    if not raw:
-        return DEFAULT_ENGINE_RETRIES
-    try:
-        return max(0, int(raw))
-    except ValueError:
-        return DEFAULT_ENGINE_RETRIES
+    return max(0, env.read_int(ENGINE_RETRIES_ENV))
 
 
 @runtime_checkable

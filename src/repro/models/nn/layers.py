@@ -14,6 +14,8 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.exceptions import ModelError
+
 
 class Layer(Protocol):
     """Protocol for a differentiable layer."""
@@ -56,7 +58,7 @@ class Dense:
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._inputs is None:
-            raise RuntimeError("Dense.backward called without a training forward pass")
+            raise ModelError("Dense.backward called without a training forward pass")
         self._grad_weight = self._inputs.T @ grad_output
         self._grad_bias = grad_output.sum(axis=0)
         return grad_output @ self.weight.T
@@ -82,7 +84,7 @@ class ReLU:
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
-            raise RuntimeError("ReLU.backward called without a training forward pass")
+            raise ModelError("ReLU.backward called without a training forward pass")
         return grad_output * self._mask
 
     def parameters(self) -> list[np.ndarray]:
@@ -106,7 +108,7 @@ class Tanh:
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._outputs is None:
-            raise RuntimeError("Tanh.backward called without a training forward pass")
+            raise ModelError("Tanh.backward called without a training forward pass")
         return grad_output * (1.0 - self._outputs**2)
 
     def parameters(self) -> list[np.ndarray]:
@@ -140,7 +142,7 @@ class Sigmoid:
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._outputs is None:
-            raise RuntimeError("Sigmoid.backward called without a training forward pass")
+            raise ModelError("Sigmoid.backward called without a training forward pass")
         return grad_output * self._outputs * (1.0 - self._outputs)
 
     def parameters(self) -> list[np.ndarray]:

@@ -196,7 +196,7 @@ class ModelCache:
             test_metrics = {
                 str(name): float(value) for name, value in metadata["test_metrics"].items()
             }
-        except Exception:
+        except Exception:  # repro-lint: disable=EXC002 -- recovery contract: any load/deserialisation failure (corrupt weights, skewed metadata) degrades to retraining; a persisted model is never trusted over a rebuild
             return None
         model.training_report = report
         featurizer = getattr(model, "_featurizer", None)

@@ -17,6 +17,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.exceptions import NotFittedError
 from repro.text.tokenize import tokenize
 
 
@@ -98,7 +99,7 @@ class TfIdfVectorizer:
 
     def _require_fitted(self) -> None:
         if self._idf is None:
-            raise RuntimeError("TfIdfVectorizer.transform called before fit")
+            raise NotFittedError("TfIdfVectorizer.transform called before fit")
 
     def transform_text(self, text: str) -> np.ndarray:
         """TF-IDF vector of one text fragment (L2-normalised)."""

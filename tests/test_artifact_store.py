@@ -435,3 +435,27 @@ class TestStoreInfrastructure:
         get_source_index(left, 2).top_k(right.get("R0"), k=2)
         leftovers = [path for path in store.directory.rglob(".*") if path.is_file()]
         assert leftovers == []
+
+
+def test_merged_state_key_order_is_insertion_independent():
+    """Regression: merged featurizer states must order keys deterministically.
+
+    The merged dict's key order becomes the member order of the persisted npz
+    archive; when the merge iterated a raw set union, two processes holding
+    the same blocks in different insertion orders could write byte-different
+    archives for identical cache contents.
+    """
+
+    def block(key, value):
+        return {"keys": [key], "values": np.asarray([[value]], dtype=np.float64)}
+
+    blocks = {name: block(f"{name}-key", float(index)) for index, name in enumerate("dbca")}
+    forward = dict(sorted(blocks.items()))
+    backward = dict(sorted(blocks.items(), reverse=True))
+    extra = {"e": block("e-key", 9.0)}
+
+    merged_forward = artifacts_module._merge_featurizer_states(forward, extra)
+    merged_backward = artifacts_module._merge_featurizer_states(backward, extra)
+
+    assert list(merged_forward) == sorted([*blocks, "e"])
+    assert list(merged_forward) == list(merged_backward)

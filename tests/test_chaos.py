@@ -37,7 +37,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro import faults
+from repro import env, faults
 from repro.data.artifacts import ArtifactStore, write_atomic_npz, write_atomic_text
 from repro.data.blocking import token_blocking, top_k_neighbours
 from repro.data.indexing import _TOKEN_SET_CACHE, get_source_index
@@ -56,7 +56,7 @@ from tests.helpers import SimilarityModel, toy_pairs, toy_sources
 from tests.test_datasource_fuzz import _run_sequence
 
 #: The CI chaos matrix sets this to run the whole file under distinct seeds.
-CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+CHAOS_SEED = env.read_int("REPRO_CHAOS_SEED")
 
 CONFIG = HarnessConfig(
     datasets=("BA",),
@@ -102,7 +102,7 @@ class TestFaultPlanMechanics:
             FaultRule(scope="unit.body", kind="meteor")
 
     def test_unparseable_env_plan_raises_instead_of_running_fault_free(self):
-        os.environ[faults.FAULT_PLAN_ENV] = "{not json"
+        env.set_raw(faults.FAULT_PLAN_ENV, "{not json")
         with pytest.raises(FaultPlanError, match="unparseable"):
             faults.fault_step("unit.body")
 

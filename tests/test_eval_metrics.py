@@ -26,7 +26,7 @@ from repro.eval.saliency_metrics import (
     faithfulness,
     saliency_alignment,
 )
-from repro.exceptions import EvaluationError
+from repro.exceptions import EvaluationError, NotFittedError
 from repro.explain.base import CounterfactualExample, CounterfactualExplanation, SaliencyExplanation
 from repro.explain.sampling import perturb_pair
 
@@ -226,7 +226,7 @@ class TestRidgeRegressor:
         assert np.mean(np.abs(predictions - targets)) < 0.01
 
     def test_predict_before_fit_raises(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(NotFittedError):
             RidgeRegressor().predict(np.zeros((2, 2)))
 
     def test_predictions_clipped_to_unit_interval(self):

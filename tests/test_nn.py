@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.exceptions import ModelError
 from repro.models.nn.layers import Dense, Dropout, ReLU, Sigmoid, Tanh, sigmoid
 from repro.models.nn.losses import binary_cross_entropy, binary_cross_entropy_gradient, mean_squared_error
 from repro.models.nn.network import MLPClassifier
@@ -20,7 +21,7 @@ class TestLayers:
     def test_dense_backward_requires_training_forward(self):
         layer = Dense(2, 2)
         layer.forward(np.ones((1, 2)), training=False)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ModelError):
             layer.backward(np.ones((1, 2)))
 
     def test_dense_gradient_matches_finite_differences(self):

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.exceptions import NotFittedError
 from repro.text.embeddings import HashedEmbeddings
 from repro.text.vectorize import (
     HashingVectorizer,
@@ -66,7 +67,7 @@ class TestTfIdfVectorizer:
         assert matrix.shape[1] <= 10
 
     def test_transform_before_fit_raises(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(NotFittedError):
             TfIdfVectorizer().transform_text("sony")
 
     def test_rare_terms_have_higher_idf_weight(self):
