@@ -14,6 +14,11 @@ synthetic product source streamed in with :func:`iter_synthetic_records`:
   traversal (``tiered=False``) while returning **byte-identical** rankings on
   every sampled query; a subset is additionally checked against the unindexed
   full scan, the golden reference.
+* **Sealed-source freshness** — :meth:`~repro.data.table.DataSource.seal`
+  turns the per-query ``ensure_fresh`` identity sweep into a version
+  comparison: sealed checks must be **>= 5x** cheaper than unsealed sweeps,
+  and a sealed tiered query must no longer spend the majority of its time in
+  ``ensure_fresh``, with byte-identical rankings before and after sealing.
 
 ``REPRO_BENCH_FAST=1`` (the CI smoke job) runs 100k records; the default
 local run uses 1M.  Results land in ``BENCH_index_scale.json`` at the
@@ -115,7 +120,53 @@ def test_index_scale(benchmark, results_dir):
                 [r.record_id for r in scanned] == [r.record_id for r in tiered]
             )
 
+        # --- freshness: ensure_fresh cost, unsealed sweep vs sealed check ---
+        # Every query pays ensure_fresh first.  Unsealed, that is one identity
+        # sweep over the whole record list; sealed, a version comparison.
+        checks = 20
+        start = time.perf_counter()
+        for _ in range(checks):
+            index.ensure_fresh()
+        unsealed_fresh_seconds = time.perf_counter() - start
+
+        source.seal()
+        index.ensure_fresh()  # adopt the sealed snapshot outside the timing
+        start = time.perf_counter()
+        for _ in range(checks):
+            index.ensure_fresh()
+        sealed_fresh_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        sealed_rankings = [
+            [r.record_id for r in index.top_k(query, k=k, tiered=True)] for query in queries
+        ]
+        sealed_query_seconds = time.perf_counter() - start
+        sealed_identical = sealed_rankings == [
+            [r.record_id for r in index.top_k(query, k=k, tiered=True)] for query in queries
+        ]
+
         return {
+            "freshness": {
+                "checks": checks,
+                "unsealed_seconds": unsealed_fresh_seconds,
+                "sealed_seconds": sealed_fresh_seconds,
+                "speedup": (
+                    unsealed_fresh_seconds / sealed_fresh_seconds
+                    if sealed_fresh_seconds
+                    else 0.0
+                ),
+                "sealed_check_ms": sealed_fresh_seconds / checks * 1000.0,
+                "sealed_query_seconds": sealed_query_seconds,
+                "sealed_identical": sealed_identical,
+                # fraction of a sealed tiered query spent on the freshness
+                # check — the "majority-time in ensure_fresh" acceptance
+                "fresh_fraction_of_query": (
+                    (sealed_fresh_seconds / checks)
+                    / (sealed_query_seconds / len(queries))
+                    if sealed_query_seconds
+                    else 0.0
+                ),
+            },
             "build": {
                 "records": size,
                 "cpus": cpus,
@@ -170,6 +221,17 @@ def test_index_scale(benchmark, results_dir):
     assert query["speedup"] >= 3.0, (
         f"expected >=3x compiled top-k speedup over the dict index, "
         f"got {query['speedup']:.2f}x"
+    )
+
+    freshness = report["freshness"]
+    assert freshness["sealed_identical"], "sealed rankings diverged between passes"
+    assert freshness["speedup"] >= 5.0, (
+        f"expected >=5x cheaper freshness checks on a sealed source, "
+        f"got {freshness['speedup']:.2f}x"
+    )
+    assert freshness["fresh_fraction_of_query"] < 0.5, (
+        f"sealed top-k still spends the majority of a query in ensure_fresh "
+        f"({freshness['fresh_fraction_of_query']:.2%})"
     )
 
     build = report["build"]

@@ -30,7 +30,7 @@ from repro.explain.base import (
     prefixed_attribute,
 )
 from repro.models.base import MATCH_THRESHOLD, ERModel
-from repro.models.engine import EngineStats, PredictionEngine
+from repro.models.engine import EngineStats, PredictionEngine, SupportsPairPrediction
 from repro.models.featurizer import FeaturizerStats
 from repro.certa.lattice import (
     AttributeLattice,
@@ -144,10 +144,20 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
         batched: bool = True,
         batch_size: int = 256,
         indexed: bool = True,
+        scheduler: SupportsPairPrediction | None = None,
     ) -> None:
         SaliencyExplainer.__init__(
             self, model, engine=engine or PredictionEngine(model, batch_size=batch_size)
         )
+        #: Optional prediction hand-off: when the serving layer supplies a
+        #: scheduler (any ``SupportsPairPrediction``), every frontier — the
+        #: triangle search, lattice exploration and counterfactual scoring —
+        #: goes through it instead of calling the engine directly, which is
+        #: what lets ``repro.serve`` coalesce the frontiers of many in-flight
+        #: requests into shared engine batches.  ``None`` keeps the direct
+        #: engine path; scores are identical either way (the scheduler
+        #: ultimately resolves through the same content-keyed engine).
+        self.scheduler = scheduler
         self.left_source = left_source
         self.right_source = right_source
         self.num_triangles = num_triangles
@@ -163,9 +173,14 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
 
     # ------------------------------------------------------------------ helpers
 
+    @property
+    def predictor(self) -> SupportsPairPrediction:
+        """Where predictions are sent: the scheduler when serving, else the engine."""
+        return self.scheduler if self.scheduler is not None else self.engine
+
     def _find_triangles(self, pair: RecordPair, num_triangles: int | None = None) -> TriangleSearchResult:
         return find_open_triangles(
-            self.engine,
+            self.predictor,
             pair,
             self.left_source,
             self.right_source,
@@ -188,7 +203,7 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
 
         def evaluate(attributes: frozenset[str]) -> bool:
             perturbed = perturbed_pair(triangle.pair, triangle.side, triangle.support, attributes)
-            score = self.engine.predict_pair(perturbed)
+            score = self.predictor.predict_pair(perturbed)
             return (score > MATCH_THRESHOLD) != original_match
 
         stats = explore_lattice(lattice, evaluate, monotone=self.monotone)
@@ -231,7 +246,7 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
                 )
                 for index, attributes in requests
             ]
-            scores = self.engine.predict_proba(pairs)
+            scores = self.predictor.predict_proba(pairs)
             return [(score > MATCH_THRESHOLD) != original_match for score in scores]
 
         exploration = explore_lattices(lattices, evaluate_batch, monotone=self.monotone)
@@ -243,7 +258,7 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
         """Run the complete CERTA algorithm for one prediction."""
         engine_start = self.engine.stats
         featurizer_start = self.engine.featurizer_stats
-        original_score = self.engine.predict_pair(pair)
+        original_score = self.predictor.predict_pair(pair)
         original_match = original_score > MATCH_THRESHOLD
 
         search = self._find_triangles(pair, num_triangles)
@@ -323,7 +338,7 @@ class CertaExplainer(SaliencyExplainer, CounterfactualExplainer):
             attribute_set = tuple(sorted(prefixed_attribute(side, attribute) for attribute in attributes))
             for triangle in flipping_triangles.get(best_key, [])[: self.max_examples]:
                 perturbed = perturbed_pair(triangle.pair, side, triangle.support, attributes)
-                score = float(self.engine.predict_pair(perturbed))
+                score = float(self.predictor.predict_pair(perturbed))
                 examples.append(
                     CounterfactualExample(
                         pair=perturbed,

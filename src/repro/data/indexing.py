@@ -58,7 +58,6 @@ from __future__ import annotations
 
 import bisect
 import heapq
-import operator
 import os
 import time
 from dataclasses import dataclass
@@ -381,9 +380,11 @@ class SourceTokenIndex:
         self.degraded_queries = 0
         self._built_hash: str | None = None
         self._built_version: int | None = None
-        #: Shallow snapshot of ``source.records`` at validation time.  Holding
-        #: the references keeps the objects alive, so identity comparison
-        #: against the live list is a sound (and C-speed) freshness fast path.
+        #: The source's validated snapshot list adopted at the last freshness
+        #: check (see :meth:`~repro.data.table.DataSource.content_state`).
+        #: The source re-snapshots whenever its own identity sweep fails, so
+        #: a single ``is`` comparison of the list object — not a sweep — is a
+        #: sound freshness fast path.  Read-only by contract.
         self._snapshot: list[Record] | None = None
         # Slot-addressed stores (tombstoned on removal).  ``_slot_tokens`` /
         # ``_postings`` are ``None`` while the dict representation is
@@ -661,15 +662,21 @@ class SourceTokenIndex:
         Freshness is judged by **content**, never by ``data_version`` alone:
         replacing records in place never bumps the counter, but it does
         change the records list, which closes the stale-index window the
-        counter left open.  Maintenance layers, cheapest first:
+        counter left open.  The live hash and the validated snapshot come
+        from one :meth:`~repro.data.table.DataSource.content_state` call, so
+        a freshness decision costs **at most one** identity sweep (the one
+        inside the source's hash cache) — and zero for a sealed source,
+        whose hash is pinned.  Maintenance layers, cheapest first:
 
-        1. *identity fast path* — if the live ``source.records`` holds the
-           exact same objects, in the same order, as the snapshot taken at
-           the last validation, nothing can have changed (records are
-           immutable by convention — the same convention the content hash
-           itself relies on when it caches per-record digests).  This is one
-           C-speed ``is`` sweep.
-        2. *delta replay* — mutations journalled by the source since the
+        1. *identity fast path* — if the source serves the exact snapshot
+           object the index adopted at the last validation, nothing can have
+           changed (the source re-snapshots whenever its own sweep fails).
+           One pointer comparison, not a sweep of its own.
+        2. *content-equal revalidation* — an unchanged live hash means the
+           derivations stay valid whatever moved (a reorder, or an in-place
+           swap writing equal values); the index just re-points at the live
+           record objects, which may differ in identity or source tag.
+        3. *delta replay* — mutations journalled by the source since the
            index's version are applied record-by-record to the posting
            lists.  The replayed state's content hash is predicted additively
            (:func:`~repro.data.table.combine_content_hash`) and compared to
@@ -677,25 +684,20 @@ class SourceTokenIndex:
            in-place mutation alongside API mutations, a log/record skew of
            any origin — falls back to a full rebuild, so incremental
            maintenance can be *wrong* only in cost, never in content.
-        3. *content hash* — with no replayable deltas (truncated log, pure
-           in-place change, or a reorder) the source's full content hash
-           decides: unchanged content revalidates without a rebuild; changed
-           content rebuilds or warm-loads from the artifact store.
+        4. *rebuild* — with no replayable deltas and changed content, the
+           index rebuilds or warm-loads from the artifact store.
         """
-        records_list = self.source.records
-        if (
-            self._snapshot is not None
-            and len(records_list) == len(self._snapshot)
-            and all(map(operator.is_, records_list, self._snapshot))
-        ):
+        live_hash, snapshot = self._source_content_state()
+        if snapshot is self._snapshot and live_hash == self._built_hash:
             return
         if self._built_hash is None or self._built_version is None:
-            self._build(self.source.content_hash())
+            self._build(live_hash)
+        elif live_hash == self._built_hash:
+            self._refresh_live_records(self.source.records)
         else:
             deltas = self._pending_deltas()
             if deltas:
                 replayed_hash = self._replay(deltas)
-                live_hash = self.source.content_hash()
                 if replayed_hash != live_hash or self._tombstones > max(
                     64, len(self._ids)
                 ):
@@ -705,18 +707,21 @@ class SourceTokenIndex:
                 else:
                     self._built_hash = live_hash
             else:
-                content_hash = self.source.content_hash()
-                if self._built_hash != content_hash:
-                    self._build(content_hash)
-                else:
-                    # Content-equal revalidation (reorder, or an in-place swap
-                    # writing equal values): the derivations stay valid, but
-                    # serve the *live* record objects — a content-equal
-                    # replacement may still differ in identity or source tag,
-                    # and consumers compare records, not just derivations.
-                    self._refresh_live_records(records_list)
-        self._snapshot = list(records_list)
+                self._build(live_hash)
+        self._snapshot = snapshot
         self._built_version = getattr(self.source, "data_version", None)
+
+    def _source_content_state(self) -> tuple[str, list[Record]]:
+        """The source's ``(content hash, validated snapshot)`` in one call.
+
+        Duck-typed fallback for minimal source stand-ins that expose only
+        ``content_hash``; the real :class:`~repro.data.table.DataSource`
+        answers both from the same identity sweep.
+        """
+        content_state = getattr(self.source, "content_state", None)
+        if content_state is not None:
+            return content_state()
+        return self.source.content_hash(), list(self.source.records)
 
     def _pending_deltas(self) -> list[SourceDelta] | None:
         """Replayable mutations since the index's version (``None`` = rebuild)."""
@@ -932,9 +937,8 @@ class SourceTokenIndex:
         self._dirty_tokens = set()
         self._compiled_stale = False
         self.compile_ms += (time.perf_counter() - started) * 1000.0
-        self._built_hash = self.source.content_hash()
+        self._built_hash, self._snapshot = self._source_content_state()
         self._built_version = getattr(self.source, "data_version", None)
-        self._snapshot = list(self.source.records)
         self.builds += 1
 
     # ---------------------------------------------------------------- reading

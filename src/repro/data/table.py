@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.data.records import Record, Schema
-from repro.exceptions import DatasetError, SchemaError
+from repro.exceptions import DatasetError, SchemaError, SealedSourceError
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only (artifacts never imports us)
     from repro.data.artifacts import ArtifactStore
@@ -151,6 +151,11 @@ class DataSource:
         #: ``(data_version, records snapshot, hash int)`` — the cached content
         #: hash, validated by version *and* record identity before reuse.
         self._hash_state: tuple[int, list[Record], int] | None = None
+        #: True once :meth:`seal` froze the source read-only.  A sealed
+        #: source's content hash is established once and served without the
+        #: per-call identity sweep, which is what makes freshness checks on
+        #: derived structures O(1) instead of O(records).
+        self._sealed = False
         #: record id -> position in ``records``.  A hint, not an authority:
         #: every read goes through :meth:`_position_of`, which verifies the
         #: stored position by identity and rescans when ``records`` was
@@ -177,6 +182,41 @@ class DataSource:
         """
         return self._data_version
 
+    @property
+    def sealed(self) -> bool:
+        """Whether :meth:`seal` has frozen this source read-only."""
+        return self._sealed
+
+    def seal(self) -> "DataSource":
+        """Freeze the source read-only and pin its content hash.
+
+        Establishes the content hash once (the usual full pass) and then
+        serves it — and :meth:`content_state` — in O(1): no per-call identity
+        sweep, no ``list(records)`` re-snapshot.  The trade is that every
+        subsequent mutation through :meth:`add` / :meth:`update` /
+        :meth:`remove` raises :class:`~repro.exceptions.SealedSourceError`.
+        Mutating ``records`` in place *behind* the seal breaks the read-only
+        contract exactly like it breaks record immutability — the sweep that
+        would catch it is the cost sealing removes.
+
+        Idempotent; returns ``self`` so call sites can chain
+        (``source.seal()`` at service start-up).
+        """
+        if not self._sealed:
+            # Flag first so the establishing pass stores the live list
+            # reference instead of a defensive copy — the seal guarantees
+            # no API mutation will ever edit that list again.
+            self._sealed = True
+            self.content_hash()
+        return self
+
+    def _assert_mutable(self) -> None:
+        if self._sealed:
+            raise SealedSourceError(
+                f"data source {self.name!r} is sealed read-only; "
+                f"mutations are not allowed after seal()"
+            )
+
     def content_hash(self) -> str:
         """Order-insensitive digest of the source's full content.
 
@@ -198,19 +238,41 @@ class DataSource:
         strings.
         """
         state = self._hash_state
-        if (
-            state is not None
-            and state[0] == self._data_version
-            and len(state[1]) == len(self.records)
-            and all(map(operator.is_, self.records, state[1]))
-        ):
-            return format(state[2], "064x")
+        if state is not None and state[0] == self._data_version:
+            if self._sealed:
+                # Sealed: the mutation API is closed, so version equality
+                # alone proves the cached hash current — no identity sweep.
+                return format(state[2], "064x")
+            if len(state[1]) == len(self.records) and all(
+                map(operator.is_, self.records, state[1])
+            ):
+                return format(state[2], "064x")
         total = _schema_hash_int(self.schema)
         for record in self.records:
             total += _record_hash_int(record)
         total %= _HASH_MODULUS
-        self._hash_state = (self._data_version, list(self.records), total)
+        # A sealed source keeps the live list itself as the snapshot (it can
+        # no longer diverge); an unsealed one pays the defensive copy.
+        snapshot = self.records if self._sealed else list(self.records)
+        self._hash_state = (self._data_version, snapshot, total)
         return format(total, "064x")
+
+    def content_state(self) -> tuple[str, list[Record]]:
+        """Content hash *plus* the identity-validated snapshot behind it.
+
+        The single freshness primitive for derived-structure consumers
+        (:meth:`repro.data.indexing.SourceTokenIndex.ensure_fresh`): one call
+        costs at most one identity sweep (zero for sealed sources), and the
+        returned snapshot is the exact list object the hash was validated
+        against.  A consumer stores that object and compares it by ``is`` on
+        the next check — while the source serves the same snapshot object,
+        nothing can have changed, so the consumer never re-sweeps what the
+        hash cache already swept.  The snapshot must be treated as read-only.
+        """
+        hash_hex = self.content_hash()
+        state = self._hash_state
+        assert state is not None  # content_hash() always leaves a valid state
+        return hash_hex, state[1]
 
     def _validate(self, record: Record) -> None:
         if tuple(record.attribute_names()) != self.schema.attributes:
@@ -220,7 +282,11 @@ class DataSource:
             )
 
     def add(self, record: Record) -> None:
-        """Append a record, validating schema and id uniqueness."""
+        """Append a record, validating schema and id uniqueness.
+
+        Raises :class:`~repro.exceptions.SealedSourceError` on a sealed source.
+        """
+        self._assert_mutable()
         self._validate(record)
         if record.record_id in self._by_id:
             raise DatasetError(f"duplicate record id {record.record_id!r} in {self.name!r}")
@@ -233,9 +299,11 @@ class DataSource:
         """Replace the record sharing ``record.record_id``; returns the old one.
 
         The replacement keeps the original's position in insertion order.
-        Raises ``DatasetError`` when no record with that id exists and
-        ``SchemaError`` when the replacement does not fit the schema.
+        Raises ``DatasetError`` when no record with that id exists,
+        ``SchemaError`` when the replacement does not fit the schema, and
+        :class:`~repro.exceptions.SealedSourceError` on a sealed source.
         """
+        self._assert_mutable()
         self._validate(record)
         old = self._by_id.get(record.record_id)
         if old is None:
@@ -251,8 +319,10 @@ class DataSource:
     def remove(self, record_id: str) -> Record:
         """Remove and return the record with ``record_id``.
 
-        Raises ``DatasetError`` when the id is unknown.
+        Raises ``DatasetError`` when the id is unknown and
+        :class:`~repro.exceptions.SealedSourceError` on a sealed source.
         """
+        self._assert_mutable()
         record = self._by_id.pop(record_id, None)
         if record is None:
             raise DatasetError(f"cannot remove unknown record id {record_id!r} from {self.name!r}")

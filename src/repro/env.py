@@ -131,6 +131,41 @@ _register(
     "tau = 100) instead of the quick default.",
 )
 _register(
+    "REPRO_SERVE_DEADLINE",
+    "float",
+    0.0,
+    "Default per-request wall-clock deadline in seconds for the explanation "
+    "service (`repro.serve`); 0 disables the deadline.",
+)
+_register(
+    "REPRO_SERVE_MAX_NODES",
+    "int",
+    0,
+    "Default per-request lattice-node budget for the explanation service; "
+    "0 disables the budget.",
+)
+_register(
+    "REPRO_SERVE_QUEUE_LIMIT",
+    "int",
+    64,
+    "Admission-control bound of the explanation service queue; requests "
+    "arriving past it are shed with an `AdmissionError` response.",
+)
+_register(
+    "REPRO_SERVE_RETRIES",
+    "int",
+    1,
+    "Per-request transient-retry budget of the explanation service (on top "
+    "of the engine's own per-invocation retries).",
+)
+_register(
+    "REPRO_SERVE_WORKERS",
+    "int",
+    4,
+    "Concurrent explanation workers of the explanation service (each runs "
+    "one request at a time against the shared engine).",
+)
+_register(
     "REPRO_UNIT_BACKOFF",
     "float",
     0.05,

@@ -23,6 +23,15 @@ class DatasetError(ReproError):
     """Raised for malformed datasets, splits or registry lookups."""
 
 
+class SealedSourceError(DatasetError):
+    """Raised when a mutation is attempted on a sealed (read-only) data source.
+
+    Sealing (:meth:`repro.data.table.DataSource.seal`) trades mutability for
+    O(1) freshness checks; the serving layer seals its sources so concurrent
+    explanation requests never pay the per-query identity sweep.
+    """
+
+
 class ModelError(ReproError):
     """Raised when an ER model is misused (e.g. predicting before training)."""
 
@@ -45,6 +54,29 @@ class LatticeError(ExplanationError):
 
 class EvaluationError(ReproError):
     """Raised by the evaluation harness for invalid metric configurations."""
+
+
+class ServeError(ReproError):
+    """Raised by the explanation service (:mod:`repro.serve`) for serving
+    failures that are not already covered by a narrower subsystem error."""
+
+
+class AdmissionError(ServeError):
+    """A request was shed by admission control (bounded queue full).
+
+    Deliberately *not* transient: the service is telling the client to back
+    off, so blind in-process retry would only amplify the overload.
+    """
+
+
+class BudgetError(ServeError):
+    """A request exhausted one of its per-request budgets.
+
+    Raised mid-explanation when the wall-clock deadline passes or the
+    lattice-node budget is spent; the request fails whole — a partial
+    explanation is never returned.  Not transient: re-running an
+    over-budget request unchanged would bust the same budget again.
+    """
 
 
 class TransientError(ReproError):

@@ -17,6 +17,7 @@ Scopes instrumented across the library:
 ``engine.batch``          one model ``predict_proba`` invocation
 ``index.compiled``        one compiled-tier index traversal
 ``index.dict``            one dict-tier index traversal
+``serve.request``         one explanation-service request execution
 ========================  ====================================================
 
 Fault kinds:

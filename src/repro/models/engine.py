@@ -24,10 +24,21 @@ The engine is a drop-in replacement wherever a fitted model is expected for
 ``predict_match`` with identical semantics, and works with any object
 implementing ``predict_proba(Sequence[RecordPair]) -> np.ndarray`` (including
 the cheap deterministic matchers used in the tests).
+
+The engine is **thread-safe**: cache and counter mutations happen under one
+lock, and an uncached pair requested by several threads at once is claimed by
+exactly one of them (the *in-flight* map) — the claimer invokes the model and
+counts the miss, every other thread blocks on the claim and counts a hit, so
+concurrent explanation requests (the ``repro.serve`` workload) never
+double-invoke the model for the same content.  The cache-hit path stays
+lock-free: scores are published atomically into the cache dict, so readers
+need no lock, and the fault-free single-threaded overhead is one uncontended
+lock acquisition per call.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import Protocol, Sequence, runtime_checkable
@@ -53,6 +64,21 @@ _RETRY_BACKOFF_SECONDS = 0.01
 def engine_retries() -> int:
     """Per-invocation transient-retry budget (``REPRO_ENGINE_RETRIES``)."""
     return max(0, env.read_int(ENGINE_RETRIES_ENV))
+
+
+class _InFlight:
+    """One uncached pair content currently being scored by some thread.
+
+    The claiming thread publishes ``score`` (or ``error``) and sets the
+    event; waiting threads block on the event and read the outcome.
+    """
+
+    __slots__ = ("event", "score", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.score: float | None = None
+        self.error: BaseException | None = None
 
 
 @runtime_checkable
@@ -177,6 +203,15 @@ class PredictionEngine:
         self.retries = retries
         self._cache: dict[tuple, float] = {}
         self._stats = EngineStats()
+        #: Guards ``_cache`` / ``_stats`` / ``_inflight`` mutations.  Cache
+        #: *reads* stay lock-free: published scores are plain floats set by
+        #: one atomic dict store, so a racing reader sees either the score or
+        #: a miss, never a torn value.
+        self._lock = threading.Lock()
+        #: Uncached contents currently being scored, keyed like ``_cache``.
+        #: Claiming an entry (under the lock) is what makes a miss exclusive:
+        #: every other thread wanting the same content waits on the claim.
+        self._inflight: dict[tuple, _InFlight] = {}
 
     # ------------------------------------------------------------------- stats
 
@@ -187,7 +222,8 @@ class PredictionEngine:
 
     def reset_stats(self) -> None:
         """Zero the counters (the cache is left intact)."""
-        self._stats = EngineStats()
+        with self._lock:
+            self._stats = EngineStats()
 
     @property
     def featurizer_stats(self) -> FeaturizerStats | None:
@@ -201,7 +237,8 @@ class PredictionEngine:
 
     def clear_cache(self) -> None:
         """Drop all memoised scores (counters are left intact)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache = {}
 
     def cache_size(self) -> int:
         """Number of distinct pair contents memoised so far."""
@@ -213,56 +250,158 @@ class PredictionEngine:
         """Matching scores in [0, 1] for each pair, batched and memoised.
 
         Duplicate pairs within one call are scored once; the duplicates (and
-        any previously cached pairs) count as cache hits.
+        any previously cached pairs) count as cache hits.  Under concurrency
+        a pair content is scored once *across calls* too: the first thread to
+        want an uncached content claims it (one miss, one model invocation),
+        every other thread waits for the claim and counts a hit — the engine
+        never double-invokes the model for the same content.
         """
         pairs = list(pairs)
         if not pairs:
             return np.zeros(0, dtype=np.float64)
+        if not self.cache_enabled:
+            return self._predict_uncached(pairs)
 
         scores = np.zeros(len(pairs), dtype=np.float64)
-        pending: dict[tuple, list[int]] = {}  # uncached content -> positions
-        pending_pairs: list[RecordPair] = []
-        hits = 0
-        for index, pair in enumerate(pairs):
-            if not self.cache_enabled:
-                # No caching means no deduplication either: every request,
-                # duplicates included, reaches the model as its own miss.
-                pending[(index,)] = [index]
-                pending_pairs.append(pair)
-                continue
-            key = pair_cache_key(pair)
-            if key in self._cache:
-                scores[index] = self._cache[key]
-                hits += 1
-            elif key in pending:
-                pending[key].append(index)
-                hits += 1  # served by the in-flight computation, not the model
-            else:
-                pending[key] = [index]
-                pending_pairs.append(pair)
+        pending, pending_pairs, waiting, hits = self._claim(pairs, scores)
 
-        tally = {"batches": 0, "max_batch": self._stats.max_batch, "retries": 0}
+        tally = {"batches": 0, "max_batch": 0, "retries": 0}
         if pending_pairs:
             computed: list[float] = []
-            for start in range(0, len(pending_pairs), self.batch_size):
-                chunk = pending_pairs[start : start + self.batch_size]
-                computed.extend(self._model_scores(chunk, tally))
+            try:
+                for start in range(0, len(pending_pairs), self.batch_size):
+                    chunk = pending_pairs[start : start + self.batch_size]
+                    computed.extend(self._model_scores(chunk, tally))
+            except BaseException as exc:
+                # Release our claims *before* re-raising so waiting threads
+                # fail fast instead of blocking forever.
+                self._abort_claims(pending, exc)
+                raise
+            self._publish(pending, computed, scores)
+
+        with self._lock:
+            self._stats = replace(
+                self._stats,
+                requests=self._stats.requests + len(pairs),
+                hits=self._stats.hits + hits,
+                misses=self._stats.misses + len(pending_pairs),
+                batches=self._stats.batches + tally["batches"],
+                max_batch=max(self._stats.max_batch, tally["max_batch"]),
+                retries=self._stats.retries + tally["retries"],
+            )
+        # Waiting last, publishing first: two calls claiming disjoint halves
+        # of each other's key sets publish before they wait, so claim cycles
+        # cannot deadlock.
+        self._await_claims(waiting, scores)
+        return scores
+
+    def _predict_uncached(self, pairs: list[RecordPair]) -> np.ndarray:
+        """The ``cache=False`` path: batching only, every request its own miss."""
+        tally = {"batches": 0, "max_batch": 0, "retries": 0}
+        computed: list[float] = []
+        for start in range(0, len(pairs), self.batch_size):
+            chunk = pairs[start : start + self.batch_size]
+            computed.extend(self._model_scores(chunk, tally))
+        with self._lock:
+            self._stats = replace(
+                self._stats,
+                requests=self._stats.requests + len(pairs),
+                misses=self._stats.misses + len(pairs),
+                batches=self._stats.batches + tally["batches"],
+                max_batch=max(self._stats.max_batch, tally["max_batch"]),
+                retries=self._stats.retries + tally["retries"],
+            )
+        return np.asarray(computed, dtype=np.float64)
+
+    def _claim(
+        self, pairs: list[RecordPair], scores: np.ndarray
+    ) -> tuple[dict[tuple, list[int]], list[RecordPair], dict[tuple, tuple[_InFlight, list[int]]], int]:
+        """Partition ``pairs`` into cached / claimed-by-us / claimed-elsewhere.
+
+        Fills ``scores`` for the cached positions as it goes.  Returns the
+        claim map (content key -> positions this call will compute), the
+        pairs to score in claim order, the wait map (key -> in-flight entry
+        owned by another thread, plus positions), and the hit count (cached
+        + in-call duplicates + served-by-another-thread).
+        """
+        pending: dict[tuple, list[int]] = {}
+        pending_pairs: list[RecordPair] = []
+        waiting: dict[tuple, tuple[_InFlight, list[int]]] = {}
+        hits = 0
+        unresolved: list[tuple[int, tuple, RecordPair]] = []
+        cache = self._cache
+        for index, pair in enumerate(pairs):
+            key = pair_cache_key(pair)
+            score = cache.get(key)
+            if score is not None:
+                # Lock-free fast path: a published score never changes.
+                scores[index] = score
+                hits += 1
+            else:
+                unresolved.append((index, key, pair))
+        if unresolved:
+            with self._lock:
+                for index, key, pair in unresolved:
+                    score = self._cache.get(key)
+                    if score is not None:
+                        scores[index] = score  # published since the fast path
+                        hits += 1
+                        continue
+                    positions = pending.get(key)
+                    if positions is not None:
+                        positions.append(index)
+                        hits += 1  # in-call duplicate of our own claim
+                        continue
+                    claimed = waiting.get(key)
+                    if claimed is not None:
+                        claimed[1].append(index)
+                        hits += 1
+                        continue
+                    entry = self._inflight.get(key)
+                    if entry is not None:
+                        waiting[key] = (entry, [index])
+                        hits += 1  # served by another thread's invocation
+                        continue
+                    self._inflight[key] = _InFlight()
+                    pending[key] = [index]
+                    pending_pairs.append(pair)
+        return pending, pending_pairs, waiting, hits
+
+    def _publish(
+        self, pending: dict[tuple, list[int]], computed: list[float], scores: np.ndarray
+    ) -> None:
+        """Store computed scores in the cache and release the claims."""
+        with self._lock:
             for (key, positions), score in zip(pending.items(), computed):
                 for position in positions:
                     scores[position] = score
-                if self.cache_enabled:
-                    self._cache[key] = score
+                self._cache[key] = score
+                entry = self._inflight.pop(key, None)
+                if entry is not None:
+                    entry.score = score
+                    entry.event.set()
 
-        self._stats = replace(
-            self._stats,
-            requests=self._stats.requests + len(pairs),
-            hits=self._stats.hits + hits,
-            misses=self._stats.misses + len(pending_pairs),
-            batches=self._stats.batches + tally["batches"],
-            max_batch=tally["max_batch"],
-            retries=self._stats.retries + tally["retries"],
-        )
-        return scores
+    def _abort_claims(self, pending: dict[tuple, list[int]], error: BaseException) -> None:
+        """Release claims after a failed model invocation, carrying the error."""
+        with self._lock:
+            for key in pending:
+                entry = self._inflight.pop(key, None)
+                if entry is not None:
+                    entry.error = error
+                    entry.event.set()
+
+    def _await_claims(
+        self, waiting: dict[tuple, tuple[_InFlight, list[int]]], scores: np.ndarray
+    ) -> None:
+        """Block on claims owned by other threads and adopt their outcomes."""
+        for _key, (entry, positions) in waiting.items():
+            entry.event.wait()
+            if entry.error is not None or entry.score is None:
+                raise ModelError(
+                    f"prediction shared with a concurrent request failed: {entry.error}"
+                ) from entry.error
+            for position in positions:
+                scores[position] = entry.score
 
     def _model_scores(self, chunk: list[RecordPair], tally: dict[str, int]) -> list[float]:
         """Score one chunk with bounded retry and poison-row bisection.

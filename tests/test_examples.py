@@ -40,7 +40,7 @@ class TestExampleScripts:
             if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
                 # Examples must use the documented public packages.
                 top_level = node.module.split(".")[1] if "." in node.module else ""
-                assert top_level in {"", "data", "models", "certa", "explain", "eval", "text"}
+                assert top_level in {"", "data", "models", "certa", "explain", "eval", "serve", "text"}
 
 
 class TestQuickstartWorkflow:

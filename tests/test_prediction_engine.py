@@ -16,6 +16,9 @@ Three suites, matching the guarantees the engine makes:
 
 from __future__ import annotations
 
+import threading
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -509,3 +512,153 @@ class TestGoldenEquivalence:
         second = CertaExplainer(engine.model, left, right, num_triangles=6, seed=0, engine=engine)
         second.explain_full(match_pair)
         assert engine.stats.misses == misses_before  # identical work: all cache hits
+
+
+class TestEngineConcurrency:
+    """The engine's thread-safety contract: one model row per content key no
+    matter how many threads race, and counters that still reconcile."""
+
+    class _PausingModel(SimilarityModel):
+        """Holds every batch open long enough for racers to pile up."""
+
+        def __init__(self, pause: float = 0.05) -> None:
+            super().__init__()
+            self.pause = pause
+            self.batch_log: list[int] = []
+            self._log_lock = threading.Lock()
+
+        def predict_proba(self, pairs) -> np.ndarray:
+            with self._log_lock:
+                self.batch_log.append(len(pairs))
+            time.sleep(self.pause)
+            return super().predict_proba(pairs)
+
+    def test_racing_threads_on_one_uncached_pair_cost_one_model_row(self, match_pair):
+        model = self._PausingModel()
+        engine = PredictionEngine(model)
+        threads = 8
+        barrier = threading.Barrier(threads)
+        scores: list[float] = [0.0] * threads
+        errors: list[BaseException] = []
+
+        def racer(slot: int) -> None:
+            try:
+                barrier.wait()
+                scores[slot] = engine.predict_pair(match_pair)
+            except BaseException as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        workers = [threading.Thread(target=racer, args=(i,)) for i in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors
+        assert len(set(scores)) == 1  # everyone sees the same score
+        assert model.calls == 1  # the model was invoked for exactly one row
+        stats = engine.stats
+        assert stats.requests == threads
+        assert stats.misses == 1  # one claim; every racer behind it is a hit
+        assert stats.hits == threads - 1
+        assert stats.hits + stats.misses == stats.requests
+
+    def test_racing_threads_on_disjoint_batches_reconcile(self, labelled_pairs):
+        engine = PredictionEngine(SimilarityModel())
+        threads = 6
+        barrier = threading.Barrier(threads)
+        errors: list[BaseException] = []
+
+        def racer(slot: int) -> None:
+            try:
+                barrier.wait()
+                # Overlapping slices: every pair is requested by several
+                # threads, so claims and waits interleave both ways.
+                for _ in range(3):
+                    engine.predict_proba(labelled_pairs[slot % 3 :])
+            except BaseException as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        workers = [threading.Thread(target=racer, args=(i,)) for i in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors
+        stats = engine.stats
+        assert stats.hits + stats.misses == stats.requests
+        # Every distinct content key costs exactly one miss, ever.
+        assert stats.misses == len(labelled_pairs)
+
+    def test_waiters_surface_the_claim_owners_failure(self, match_pair):
+        in_model = threading.Event()
+        release = threading.Event()
+
+        class BlockingBrokenModel(SimilarityModel):
+            def predict_proba(self, pairs) -> np.ndarray:
+                in_model.set()
+                release.wait(timeout=5.0)
+                raise LatticeError("owner failed mid-claim")  # non-transient
+
+        engine = PredictionEngine(BlockingBrokenModel())
+        outcomes: dict[str, BaseException] = {}
+
+        def owner() -> None:
+            try:
+                engine.predict_pair(match_pair)
+            except BaseException as exc:
+                outcomes["owner"] = exc
+
+        def waiter() -> None:
+            try:
+                engine.predict_pair(match_pair)
+            except BaseException as exc:
+                outcomes["waiter"] = exc
+
+        owner_thread = threading.Thread(target=owner)
+        owner_thread.start()
+        assert in_model.wait(timeout=5.0)
+        waiter_thread = threading.Thread(target=waiter)
+        waiter_thread.start()
+        time.sleep(0.05)  # let the waiter join the in-flight claim
+        release.set()
+        owner_thread.join()
+        waiter_thread.join()
+        assert isinstance(outcomes["owner"], LatticeError)
+        waiter_error = outcomes["waiter"]
+        assert isinstance(waiter_error, (ModelError, LatticeError))
+        if isinstance(waiter_error, ModelError):
+            assert "concurrent request" in str(waiter_error)
+            assert isinstance(waiter_error.__cause__, LatticeError)
+        # A failed claim must not poison the key: a retry re-invokes cleanly.
+        release.set()
+        with pytest.raises((ModelError, LatticeError)):
+            engine.predict_pair(match_pair)
+
+    def test_concurrent_explainers_share_one_engine_safely(self, sources, match_pair):
+        left, right = sources
+        engine = PredictionEngine(SimilarityModel())
+        results: list[float] = []
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def explain() -> None:
+            try:
+                explainer = CertaExplainer(
+                    engine.model, left, right, num_triangles=6, seed=0, engine=engine
+                )
+                explanation = explainer.explain_full(match_pair)
+                with lock:
+                    results.append(explanation.prediction)
+            except BaseException as exc:  # pragma: no cover - failure reporting
+                with lock:
+                    errors.append(exc)
+
+        workers = [threading.Thread(target=explain) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert not errors
+        assert len(set(results)) == 1
+        stats = engine.stats
+        assert stats.hits + stats.misses == stats.requests

@@ -8,9 +8,9 @@ import pytest
 
 from repro.data.records import Record, Schema
 from repro.data.table import DataSource
-from repro.exceptions import DatasetError, SchemaError
+from repro.exceptions import DatasetError, SchemaError, SealedSourceError
 
-from tests.helpers import LEFT_SCHEMA, make_record
+from tests.helpers import LEFT_SCHEMA, make_record, toy_sources
 
 
 class TestLifecycleMutations:
@@ -325,3 +325,76 @@ class TestDataSourceOperations:
             "rows", schema, [{"id": "x1", "name": "a"}], id_attribute="id"
         )
         assert source.ids() == ["x1"]
+
+
+class TestSealing:
+    def test_seal_is_idempotent_and_returns_self(self, sources):
+        left, _ = sources
+        assert not left.sealed
+        assert left.seal() is left
+        assert left.sealed
+        left.seal()  # second seal is a no-op
+        assert left.sealed
+
+    def test_mutations_on_sealed_source_raise(self, sources):
+        left, _ = sources
+        left.seal()
+        with pytest.raises(SealedSourceError, match="sealed"):
+            left.add(make_record("L9", "new", "new thing", "1.0"))
+        with pytest.raises(SealedSourceError, match="sealed"):
+            left.update(make_record("L0", "changed", "changed", "2.0"))
+        with pytest.raises(SealedSourceError, match="sealed"):
+            left.remove("L0")
+        # the failed mutations left no trace
+        assert len(left) == 6
+        assert left.get("L0").value("name") == "sony bravia theater"
+
+    def test_sealed_source_error_is_a_dataset_error(self, sources):
+        left, _ = sources
+        left.seal()
+        with pytest.raises(DatasetError):
+            left.remove("L0")
+
+    def test_sealed_hash_skips_the_identity_sweep(self, sources):
+        """Once sealed, repeated content hashes are version-check only: the
+        cached state must be reused without re-walking the record list."""
+        left, _ = sources
+        left.seal()
+        first = left.content_hash()
+        # Sabotage the live list *behind the seal's back*: a sealed source
+        # promises immutability, so the hash must come from the cached state
+        # without sweeping (an unsealed source would detect this change).
+        records = list.__len__(left.records)
+        assert left.content_hash() == first
+        assert list.__len__(left.records) == records
+
+    def test_sealed_and_unsealed_hashes_are_byte_identical(self):
+        sealed_left, _ = toy_sources()
+        plain_left, _ = toy_sources()
+        sealed_left.seal()
+        assert sealed_left.content_hash() == plain_left.content_hash()
+
+    def test_content_state_shares_the_validated_snapshot(self, sources):
+        left, _ = sources
+        hash_one, snapshot_one = left.content_state()
+        hash_two, snapshot_two = left.content_state()
+        assert hash_one == hash_two
+        assert snapshot_one is snapshot_two  # no re-sweep, no re-copy
+        left.add(make_record("L9", "new", "new thing", "1.0"))
+        hash_three, snapshot_three = left.content_state()
+        assert hash_three != hash_one
+        assert snapshot_three is not snapshot_one
+
+    def test_sealed_content_state_is_the_live_list(self, sources):
+        """A sealed source's snapshot IS its record list — immutability makes
+        the defensive copy pointless, which is what makes sealing O(1)."""
+        left, _ = sources
+        left.seal()
+        _, snapshot = left.content_state()
+        assert snapshot is left.records
+
+    def test_unsealed_content_state_is_a_defensive_copy(self, sources):
+        left, _ = sources
+        _, snapshot = left.content_state()
+        assert snapshot is not left.records
+        assert snapshot == left.records

@@ -29,7 +29,7 @@ from repro.data.indexing import (
 )
 from repro.data.table import DataSource
 
-from tests.helpers import LEFT_SCHEMA, SimilarityModel, make_record
+from tests.helpers import LEFT_SCHEMA, SimilarityModel, make_record, toy_sources
 
 
 class TestInternedTokens:
@@ -445,3 +445,72 @@ class TestExplainerEquivalence:
             assert first.triangles_used == second.triangles_used
             assert first.index_stats is not None
             assert second.index_stats is None
+
+
+class TestFreshnessCost:
+    """Each freshness decision costs at most one identity sweep (one
+    ``content_hash``), and zero for sealed sources."""
+
+    def _counting_hash(self, source):
+        calls = {"n": 0}
+        original = source.content_hash
+
+        def counting():
+            calls["n"] += 1
+            return original()
+
+        source.content_hash = counting
+        return calls
+
+    def test_unchanged_source_costs_one_hash_per_query(self, sources):
+        left, right = sources
+        index = get_source_index(left, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        index.top_k(right.get("R0"), k=2)  # build
+        calls = self._counting_hash(left)
+        index.top_k(right.get("R0"), k=2)
+        assert calls["n"] == 1  # regression: the old path swept twice
+        index.top_k(right.get("R1"), k=2)
+        assert calls["n"] == 2
+
+    def test_delta_replay_costs_one_hash(self, sources):
+        left, right = sources
+        index = get_source_index(left, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        index.top_k(right.get("R0"), k=2)
+        left.add(make_record("L9", "sony bravia theater mini", "sony bravia mini", "149.0"))
+        calls = self._counting_hash(left)
+        ranked = index.top_k(right.get("R0"), k=None)
+        # One sweep decides staleness; the replay validates against that same
+        # hash instead of sweeping again.
+        assert calls["n"] == 1
+        assert index.delta_applies == 1
+        assert "L9" in {record.record_id for record in ranked}
+
+    def test_sealed_source_snapshot_is_the_live_list(self, sources):
+        left, right = sources
+        left.seal()
+        index = get_source_index(left, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        index.top_k(right.get("R0"), k=2)
+        assert index._snapshot is left.records  # no defensive copy per check
+        for query in right:
+            index.top_k(query, k=2)
+        assert index.builds == 1
+        assert index.delta_applies == 0
+
+    def test_sealed_and_unsealed_rankings_are_identical(self):
+        sealed_left, right = toy_sources()
+        plain_left, _ = toy_sources()
+        sealed_left.seal()
+        sealed_index = get_source_index(sealed_left, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        plain_index = get_source_index(plain_left, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        for query in right:
+            sealed_ranking = [r.record_id for r in sealed_index.top_k(query, k=None)]
+            plain_ranking = [r.record_id for r in plain_index.top_k(query, k=None)]
+            assert sealed_ranking == plain_ranking
+
+    def test_seal_after_build_keeps_the_index_warm(self, sources):
+        left, right = sources
+        index = get_source_index(left, DEFAULT_BLOCKING_TOKEN_LENGTH)
+        index.top_k(right.get("R0"), k=2)
+        left.seal()
+        index.top_k(right.get("R0"), k=2)
+        assert index.builds == 1  # sealing an already-indexed source is free
